@@ -1,0 +1,45 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(Section 8) with the paper's parameters, prints the rows/series the paper
+reports, persists the rendering under ``benchmarks/results/``, checks the
+paper's *shape* claims programmatically, and times the core computation with
+pytest-benchmark.
+
+Monte-Carlo sample counts: the paper uses 100 000 runs per point ("found out
+that 100,000 runs are enough"); the vectorised samplers make that cheap, so
+the figures use the full count.  Engine-level overlay points use a few
+hundred end-to-end runs (documented per benchmark).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper's Monte-Carlo sample count per point.
+PAPER_RUNS = 100_000
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction artefact and persist it for later reading."""
+    banner = f"\n{'=' * 78}\n{name}\n{'=' * 78}\n"
+    sys.stdout.write(banner + text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_csv(name: str, x_label: str, series) -> None:
+    """Persist a machine-readable CSV companion for a figure."""
+    from repro.sim import to_csv
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.csv").write_text(to_csv(x_label, series) + "\n")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark (the figure generators
+    are heavyweight; statistical timing rounds would dominate the suite)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

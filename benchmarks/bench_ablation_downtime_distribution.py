@@ -1,0 +1,91 @@
+"""Ablation — sensitivity to the downtime distribution.
+
+The paper assumes exponential downtime "governed by the exponential
+distribution".  How much do its conclusions depend on that assumption?
+Linearity of expectation says the *single-process* techniques (retrying,
+checkpointing) depend on downtime only through its mean — swapping
+exponential repair for deterministic repair of the same mean must not move
+their expected completion times.  The *replication* techniques take a min
+over processes, which is distribution-sensitive: lighter-tailed repair
+times shrink the spread the min can exploit, so fixed downtime makes
+replication slightly *slower*.
+
+This ablation quantifies both effects, confirming the paper's qualitative
+conclusions are robust to the repair-time model.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit, once
+
+from repro.sim import (
+    SimulationParams,
+    TECHNIQUES,
+    sample_technique,
+    summarize,
+)
+
+MTTF = 20.0
+DOWNTIME = 150.0  # 5F: long enough for distribution effects to show
+RUNS = 100_000
+
+
+def generate():
+    rows = {}
+    for technique in TECHNIQUES:
+        rows[technique] = {}
+        for dist in ("exponential", "fixed"):
+            params = SimulationParams(
+                mttf=MTTF,
+                downtime=DOWNTIME,
+                downtime_distribution=dist,
+                runs=RUNS,
+            )
+            rows[technique][dist] = summarize(
+                sample_technique(technique, params)
+            )
+    return rows
+
+
+def test_ablation_downtime_distribution(benchmark):
+    rows = once(benchmark, generate)
+    lines = [
+        f"{'technique':28s} {'exp mean':>10s} {'fixed mean':>10s} "
+        f"{'shift':>8s} {'exp std':>9s} {'fixed std':>9s}"
+    ]
+    for technique, by_dist in rows.items():
+        e, f = by_dist["exponential"], by_dist["fixed"]
+        shift = (f.mean - e.mean) / e.mean
+        lines.append(
+            f"{technique:28s} {e.mean:10.1f} {f.mean:10.1f} "
+            f"{shift:8.2%} {e.std:9.1f} {f.std:9.1f}"
+        )
+    emit("ablation_downtime_distribution", "\n".join(lines))
+
+    # -- claims --------------------------------------------------------------
+    # (1) mean-insensitivity for single-process techniques (within MC error).
+    for technique in ("retrying", "checkpointing"):
+        e = rows[technique]["exponential"]
+        f = rows[technique]["fixed"]
+        assert abs(e.mean - f.mean) <= 2.0 * (e.ci_halfwidth + f.ci_halfwidth)
+    # (2) fixed repair reduces variance (the distribution is lighter-tailed).
+    for technique in ("retrying", "checkpointing"):
+        assert rows[technique]["fixed"].std < rows[technique]["exponential"].std
+    # (3) replication is distribution-sensitive: with less spread to pick
+    # the min from, fixed downtime is slower for the replicated techniques.
+    for technique in ("replication", "replication_checkpointing"):
+        e = rows[technique]["exponential"]
+        f = rows[technique]["fixed"]
+        assert f.mean > e.mean
+    # (4) but the paper's conclusion is robust: the technique ordering at
+    # this (MTTF, D) point is the same under both distributions.
+    for dist in ("exponential", "fixed"):
+        means = {t: rows[t][dist].mean for t in TECHNIQUES}
+        order = sorted(means, key=means.get)
+        assert order[0] == "replication_checkpointing"
+        assert order[-1] == "retrying"

@@ -1,0 +1,103 @@
+"""Ablation — cost of engine checkpointing (Section 7's own fault tolerance).
+
+The engine persists its parse tree to disk after *every* task termination.
+This benchmark measures that overhead in wall-clock terms (it is free in
+virtual time) by timing a 60-task workflow with and without a checkpointer,
+and measures resume fidelity: how much work a restart re-executes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit, once
+
+from repro.engine import EngineCheckpointer, WorkflowEngine
+from repro.grid import RELIABLE, FixedDurationTask, GridConfig, SimulatedGrid
+from repro.wpdl import WorkflowBuilder
+
+N_TASKS = 60
+
+
+def chain(n: int):
+    builder = WorkflowBuilder("bigchain").program("step", hosts=["h1"])
+    names = [f"t{i:03d}" for i in range(n)]
+    for name in names:
+        builder.activity(name, implement="step")
+    builder.sequence(*names)
+    return builder.build()
+
+
+def make_grid():
+    grid = SimulatedGrid(config=GridConfig(heartbeats=False))
+    grid.add_host(RELIABLE("h1"))
+    grid.install("h1", "step", FixedDurationTask(10.0))
+    return grid
+
+
+def run(checkpoint_path=None):
+    grid = make_grid()
+    checkpointer = (
+        EngineCheckpointer(checkpoint_path) if checkpoint_path else None
+    )
+    engine = WorkflowEngine(
+        chain(N_TASKS), grid, reactor=grid.reactor, checkpointer=checkpointer
+    )
+    start = time.perf_counter()
+    result = engine.run(timeout=1e9)
+    elapsed = time.perf_counter() - start
+    assert result.succeeded
+    return elapsed, checkpointer.saves if checkpointer else 0
+
+
+def generate(tmp_dir: Path):
+    no_ckpt, _ = run()
+    with_ckpt, saves = run(tmp_dir / "engine.ckpt")
+
+    # Resume fidelity: kill after ~half the chain, resume, count re-runs.
+    path = tmp_dir / "resume.ckpt"
+    grid1 = make_grid()
+    engine1 = WorkflowEngine(
+        chain(N_TASKS), grid1, reactor=grid1.reactor,
+        checkpointer=EngineCheckpointer(path),
+    )
+    engine1.start()
+    grid1.kernel.run_until(N_TASKS * 10.0 / 2 + 1.0)
+    grid2 = make_grid()
+    engine2 = WorkflowEngine.resume(str(path), grid2, reactor=grid2.reactor)
+    result = engine2.run(timeout=1e9)
+    assert result.succeeded
+    reran = grid2.gram.submitted_count
+    return {
+        "no_ckpt_s": no_ckpt,
+        "with_ckpt_s": with_ckpt,
+        "saves": saves,
+        "reran_tasks": reran,
+    }
+
+
+def test_ablation_engine_checkpoint(benchmark, tmp_path):
+    data = once(benchmark, generate, tmp_path)
+    overhead = data["with_ckpt_s"] - data["no_ckpt_s"]
+    per_save_ms = 1000 * overhead / max(data["saves"], 1)
+    report = (
+        f"{N_TASKS}-task chain, wall-clock engine time:\n"
+        f"  without checkpointing : {data['no_ckpt_s'] * 1000:8.1f} ms\n"
+        f"  with checkpointing    : {data['with_ckpt_s'] * 1000:8.1f} ms "
+        f"({data['saves']} saves, ~{per_save_ms:.2f} ms/save)\n\n"
+        f"resume fidelity after dying halfway:\n"
+        f"  tasks re-submitted by the resumed engine: {data['reran_tasks']} "
+        f"(out of {N_TASKS}; ideal is ~{N_TASKS // 2 + 1})"
+    )
+    emit("ablation_engine_checkpoint", report)
+
+    # -- claims --------------------------------------------------------------
+    assert data["saves"] == N_TASKS  # once per task termination
+    # Resume re-executes only the un-finished half (+ the in-flight task).
+    assert data["reran_tasks"] <= N_TASKS // 2 + 2
+    # Checkpointing costs real I/O but stays proportionate (well under
+    # 50 ms per save on any modern disk).
+    assert per_save_ms < 50.0

@@ -1,0 +1,83 @@
+"""Ablation — replication degree (the paper fixes N = 3).
+
+Sweeps the number of replicas and shows diminishing returns: each extra
+replica costs a full machine but shaves ever less expected completion time
+(the min of N i.i.d. variables concentrates).  Also reports a simple
+cost-efficiency metric (CPU-seconds consumed per run ≈ N × E[T]), which
+*increases* with N — replication buys latency with burned cycles, the
+paper's "at the cost of extra CPU consumption".
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit, once
+
+from repro.sim import (
+    Series,
+    SimulationParams,
+    ascii_chart,
+    format_table,
+    sample_replication,
+)
+
+N_SWEEP = (1, 2, 3, 4, 6, 8, 12, 16)
+MTTFS = (10.0, 30.0)
+RUNS = 50_000
+
+
+def generate():
+    latency_series = []
+    cpu_series = []
+    for mttf in MTTFS:
+        means = []
+        for n in N_SWEEP:
+            params = SimulationParams(mttf=mttf, replicas=n, runs=RUNS)
+            means.append(float(sample_replication(params).mean()))
+        xs = tuple(float(n) for n in N_SWEEP)
+        latency_series.append(
+            Series(label=f"E[T], MTTF={mttf:g}", x=xs, y=tuple(means))
+        )
+        cpu_series.append(
+            Series(
+                label=f"N*E[T], MTTF={mttf:g}",
+                x=xs,
+                y=tuple(n * m for n, m in zip(N_SWEEP, means)),
+            )
+        )
+    return latency_series, cpu_series
+
+
+def test_ablation_replication_degree(benchmark):
+    latency, cpu = once(benchmark, generate)
+    report = (
+        format_table("N", latency)
+        + "\n\n"
+        + format_table("N", cpu)
+        + "\n\n"
+        + ascii_chart(latency, title="Ablation: replication degree (F=30, D=0)")
+    )
+    emit("ablation_replication_degree", report)
+
+    # -- claims --------------------------------------------------------------
+    for s in latency:
+        # (1) monotone improvement in N...
+        assert list(s.y) == sorted(s.y, reverse=True)
+        # (2) ...with diminishing returns: the 1→2 gain dwarfs the 8→16 gain.
+        first_gain = s.y[0] - s.y[1]
+        last_gain = s.y[N_SWEEP.index(8)] - s.y[-1]
+        assert first_gain > 3 * last_gain
+        # (3) never better than the failure-free floor F = 30.
+        assert min(s.y) >= 30.0
+    # (4) CPU cost grows with N once latency saturates.
+    for s in cpu:
+        assert s.y[-1] > s.y[1]
+    # (5) the paper's N=3 already captures most of the achievable speedup
+    # at its headline MTTFs: >= 70% of the 1→16 improvement.
+    for s in latency:
+        total_gain = s.y[0] - s.y[-1]
+        n3_gain = s.y[0] - s.y[N_SWEEP.index(3)]
+        assert n3_gain >= 0.7 * total_gain

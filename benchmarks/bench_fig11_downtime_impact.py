@@ -1,0 +1,71 @@
+"""Figure 11 — the four techniques across downtime regimes (4 panels).
+
+Paper setup: same as Figure 10 but with downtime D ∈ {0, F, 5F, 10F} =
+{0, 30, 150, 300}.  Claims to reproduce:
+
+* longer downtime favours the replication-based techniques (a replica on a
+  healthy machine keeps working while the failed one sits in repair);
+* downtime amplifies the absolute cost of every technique.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import PAPER_RUNS, emit, once
+
+from repro.sim import (
+    PAPER_BASELINE,
+    PAPER_DOWNTIMES,
+    PAPER_MTTF_SWEEP,
+    TECHNIQUES,
+    ascii_chart,
+    format_table,
+    sweep_mttf,
+)
+
+PANEL_NAMES = {0.0: "D = 0", 30.0: "D = F", 150.0: "D = 5F", 300.0: "D = 10F"}
+
+
+def generate():
+    panels = {}
+    for downtime in PAPER_DOWNTIMES:
+        params = PAPER_BASELINE.with_downtime(downtime)
+        panels[downtime] = sweep_mttf(params, PAPER_MTTF_SWEEP, runs=PAPER_RUNS)
+    return panels
+
+
+def test_fig11_downtime_impact(benchmark):
+    panels = once(benchmark, generate)
+    blocks = []
+    for downtime in PAPER_DOWNTIMES:
+        series = [panels[downtime][t] for t in TECHNIQUES]
+        blocks.append(
+            f"--- panel {PANEL_NAMES[downtime]} (downtime={downtime:g}) ---\n"
+            + format_table("MTTF", series)
+            + "\n"
+            + ascii_chart(series, height=12, title=PANEL_NAMES[downtime])
+        )
+    emit("fig11_downtime_impact", "\n\n".join(blocks))
+
+    # -- shape claims ------------------------------------------------------
+    # (1) with long downtime, replication-based techniques dominate across
+    # (almost) the whole MTTF range; check at a mid-range point.
+    for downtime in (150.0, 300.0):
+        panel = panels[downtime]
+        at30 = {t: panel[t].value_at(30.0) for t in TECHNIQUES}
+        assert at30["replication"] < at30["retrying"]
+        assert at30["replication"] < at30["checkpointing"]
+        assert at30["replication_checkpointing"] < at30["checkpointing"]
+    # (2) downtime monotonically worsens each technique (same MTTF).
+    for technique in TECHNIQUES:
+        values = [
+            panels[d][technique].value_at(20.0) for d in PAPER_DOWNTIMES
+        ]
+        assert values == sorted(values)
+    # (3) at D=0 the Figure-10 picture is recovered: checkpointing beats
+    # replication at MTTF=10.
+    d0 = panels[0.0]
+    assert d0["checkpointing"].value_at(10.0) < d0["replication"].value_at(10.0)

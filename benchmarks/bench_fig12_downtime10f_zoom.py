@@ -1,0 +1,66 @@
+"""Figure 12 — zoom of the D = 10F panel.
+
+Paper claims for downtime = 300 (ten times the task duration):
+
+* when the failure rate is relatively high — the paper pins it at
+  MTTF < ~12 (λF > 2.5) — checkpointing performs better than replication
+  (failure rate dominates long downtime);
+* in the low-reliability AND low-availability regime the strongest
+  technique, replication w/ checkpointing, outperforms everything.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import PAPER_RUNS, emit, emit_csv, once
+
+from repro.sim import (
+    PAPER_BASELINE,
+    TECHNIQUES,
+    ascii_chart,
+    crossover,
+    format_table,
+    sweep_mttf,
+)
+
+#: Finer grid than Figure 10's, to pin the MTTF ≈ 12 crossover.
+MTTF_SWEEP = (6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 20.0, 30.0, 50.0, 75.0, 100.0)
+DOWNTIME = 300.0  # 10F
+
+
+def generate():
+    params = PAPER_BASELINE.with_downtime(DOWNTIME)
+    return sweep_mttf(params, MTTF_SWEEP, runs=PAPER_RUNS)
+
+
+def test_fig12_downtime10f_zoom(benchmark):
+    series = once(benchmark, generate)
+    ordered = [series[t] for t in TECHNIQUES]
+    rp_over_ck = crossover(series["replication"], series["checkpointing"])
+    report = (
+        format_table("MTTF", ordered)
+        + "\n\n"
+        + ascii_chart(ordered, title="Figure 12: downtime = 10F (300s)")
+        + f"\n\nreplication overtakes checkpointing at MTTF ~ "
+        f"{rp_over_ck or float('nan'):.1f} (paper: ~12)"
+    )
+    emit("fig12_downtime10f_zoom", report)
+    emit_csv("fig12_downtime10f_zoom", "mttf", ordered)
+
+    # -- shape claims ------------------------------------------------------
+    # (1) high failure rate: checkpointing beats plain replication.
+    at8 = {t: series[t].value_at(8.0) for t in TECHNIQUES}
+    assert at8["checkpointing"] < at8["replication"]
+    # (2) the crossover sits near the paper's MTTF ≈ 12.
+    assert rp_over_ck is not None and 8.0 <= rp_over_ck <= 20.0
+    # (3) the strongest technique wins in the low-reliability +
+    # low-availability corner...
+    assert min(at8, key=at8.get) == "replication_checkpointing"
+    # ...by a wide margin over single techniques there.
+    assert at8["replication_checkpointing"] < 0.5 * at8["replication"]
+    # (4) retrying is catastrophic in this regime (the figure's y axis
+    # reaching thousands).
+    assert at8["retrying"] > 10 * at8["replication_checkpointing"]

@@ -1,0 +1,197 @@
+"""Figure 13 — the value of user-defined exception handling.
+
+Paper setup (Section 8.2): the Figure-6 DAG with FU = 30 (five disk_full
+checks, one every 6 time units, each failing with probability p), SR = 150,
+DJ = 0.  Three strategies compared as p sweeps 0..1:
+
+* masking by retrying — diverges as p → 1 (never finishes at p = 1);
+* masking by checkpointing — also diverges, more slowly;
+* exception handling with an alternative task — bounded (156 at p = 1).
+
+This benchmark computes all three closed forms, overlays the Monte-Carlo
+samplers, and additionally *runs the real engine* on the Figure-6 DAG per
+strategy to confirm the full stack reproduces the model.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import PAPER_RUNS, emit, emit_csv, once
+
+from repro.core import FailurePolicy
+from repro.engine import WorkflowEngine
+from repro.grid import (
+    RELIABLE,
+    ExceptionProneTask,
+    FixedDurationTask,
+    GridConfig,
+    SimulatedGrid,
+)
+from repro.sim import (
+    Series,
+    ascii_chart,
+    expected_alternative,
+    expected_checkpointing,
+    expected_retrying,
+    format_table,
+    sample_alternative,
+    sample_exception_checkpointing,
+    sample_exception_retrying,
+)
+from repro.wpdl import JoinMode, WorkflowBuilder
+
+P_SWEEP = tuple(round(p, 2) for p in np.arange(0.0, 1.01, 0.1))
+ENGINE_PS = (0.3, 0.7, 1.0)
+ENGINE_RUNS = 400
+
+
+def generate(runs: int = PAPER_RUNS):
+    """Closed forms plus Monte-Carlo means over the p sweep."""
+    curves = {}
+    curves["retrying (analytical)"] = [expected_retrying(p) for p in P_SWEEP]
+    curves["checkpointing (analytical)"] = [
+        expected_checkpointing(p) for p in P_SWEEP
+    ]
+    curves["alternative (analytical)"] = [
+        expected_alternative(p) for p in P_SWEEP
+    ]
+    curves["retrying (MC)"] = [
+        sample_exception_retrying(p, runs).mean() if p < 1.0 else math.inf
+        for p in P_SWEEP
+    ]
+    curves["checkpointing (MC)"] = [
+        sample_exception_checkpointing(p, runs).mean() if p < 1.0 else math.inf
+        for p in P_SWEEP
+    ]
+    curves["alternative (MC)"] = [
+        sample_alternative(p, runs).mean() for p in P_SWEEP
+    ]
+    return {
+        label: Series(label=label, x=P_SWEEP, y=tuple(values))
+        for label, values in curves.items()
+    }
+
+
+def figure6_workflow(strategy: str):
+    """The Figure-6 DAG configured for one of the three strategies."""
+    if strategy == "alternative":
+        fu_policy = FailurePolicy()
+    else:
+        fu_policy = FailurePolicy(max_tries=None, retry_on_exception=True)
+    builder = (
+        WorkflowBuilder(f"fig13-{strategy}")
+        .program("fast", hosts=["u1"])
+        .program("slow", hosts=["r1"])
+        .activity("FU", implement="fast", policy=fu_policy)
+        .activity("SR", implement="slow")
+        .dummy("DJ", join=JoinMode.OR)
+        .transition("FU", "DJ")
+        .transition("SR", "DJ")
+    )
+    if strategy == "alternative":
+        builder.on_exception("FU", "disk_full", "SR")
+    else:
+        # Masking configurations never consult SR; give its branch a dead
+        # guard edge so the DAG stays connected but SR never launches.
+        builder.when("FU", "0 > 1", "SR")
+    return builder.build()
+
+
+def engine_point(strategy: str, p: float, runs: int = ENGINE_RUNS) -> float:
+    """Mean completion time of real engine runs of the Figure-6 DAG."""
+    workflow = figure6_workflow(strategy)
+    fast = ExceptionProneTask(
+        duration=30.0,
+        checks=5,
+        probability=p,
+        checkpointable=(strategy == "checkpointing"),
+    )
+    times = np.empty(runs)
+    for i in range(runs):
+        grid = SimulatedGrid(
+            seed=1000 + 13 * i, config=GridConfig(heartbeats=False)
+        )
+        grid.add_host(RELIABLE("u1"))
+        grid.add_host(RELIABLE("r1"))
+        grid.install("u1", "fast", fast)
+        grid.install("r1", "slow", FixedDurationTask(150.0))
+        result = WorkflowEngine(
+            workflow, grid, reactor=grid.reactor, validate_spec=False
+        ).run(timeout=1e9)
+        assert result.succeeded
+        times[i] = result.completion_time
+    return float(times.mean())
+
+
+def test_fig13_exception_handling(benchmark):
+    curves = once(benchmark, generate)
+    analytical = [
+        curves["retrying (analytical)"],
+        curves["checkpointing (analytical)"],
+        curves["alternative (analytical)"],
+    ]
+
+    engine_rows = ["engine-level Figure-6 DAG runs "
+                   f"({ENGINE_RUNS} runs/point, expected in parentheses):"]
+    engine_checks = []
+    for p in ENGINE_PS:
+        cells = []
+        for strategy, expected_fn in (
+            ("retrying", expected_retrying),
+            ("checkpointing", expected_checkpointing),
+            ("alternative", expected_alternative),
+        ):
+            expected = expected_fn(p)
+            if math.isinf(expected):
+                cells.append(f"{strategy}=never")
+                continue
+            if strategy != "alternative" and expected > 5000:
+                cells.append(f"{strategy}=skipped(E~{expected:.0f})")
+                continue
+            measured = engine_point(strategy, p)
+            cells.append(f"{strategy}={measured:.1f} (~{expected:.1f})")
+            engine_checks.append((measured, expected))
+        engine_rows.append(f"  p={p}: " + "  ".join(cells))
+
+    report = (
+        format_table("p", analytical)
+        + "\n\n"
+        + ascii_chart(
+            analytical,
+            y_cap=500.0,
+            title="Figure 13: expected completion vs exception probability "
+            "(y capped at 500, as in the paper)",
+        )
+        + "\n\n"
+        + "\n".join(engine_rows)
+    )
+    emit("fig13_exception_handling", report)
+    emit_csv("fig13_exception_handling", "p", list(curves.values()))
+
+    # -- shape claims ------------------------------------------------------
+    alt = curves["alternative (analytical)"]
+    rt = curves["retrying (analytical)"]
+    ck = curves["checkpointing (analytical)"]
+    # (1) p=1: masking never finishes; the handler completes in 156.
+    assert math.isinf(rt.value_at(1.0)) and math.isinf(ck.value_at(1.0))
+    assert alt.value_at(1.0) == 156.0
+    # (2) the handler curve is bounded everywhere; masking blows past the
+    # paper's 500-unit axis by p=0.8.
+    assert max(alt.y) < 160.0
+    assert rt.value_at(0.8) > 500.0
+    # (3) MC agrees with the closed forms wherever finite.
+    for kind in ("retrying", "checkpointing", "alternative"):
+        ana = curves[f"{kind} (analytical)"]
+        mc = curves[f"{kind} (MC)"]
+        for a, m in zip(ana.y, mc.y):
+            if math.isfinite(a):
+                assert abs(m - a) / max(a, 1.0) < 0.03
+    # (4) the real engine matches the model at every checked point.
+    for measured, expected in engine_checks:
+        assert abs(measured - expected) / expected < 0.08

@@ -1,0 +1,107 @@
+"""Table 1 — fault tolerance mechanisms in prior systems, plus the
+adaptive-vs-fixed comparison the table motivates.
+
+The paper's Table 1 is qualitative: eight systems, each with one
+user-transparent recovery mechanism (or none) and no user-defined
+exceptions.  This benchmark (a) reprints the table from the registry and
+(b) quantifies its consequence by emulating each system's single strategy
+inside Grid-WFS across three environments, against the adaptive per-regime
+choice Grid-WFS enables.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import emit, once
+
+from repro.baselines import PRESETS, TABLE1, adaptive_choice, table1_rows
+from repro.sim import SimulationParams, TECHNIQUE_LABELS
+
+RUNS = 50_000
+ENVIRONMENTS = {
+    "flaky (MTTF=8, D=0)": SimulationParams(mttf=8.0, runs=RUNS),
+    "stable (MTTF=80, D=0)": SimulationParams(mttf=80.0, runs=RUNS),
+    "flaky + slow repair (MTTF=8, D=300)": SimulationParams(
+        mttf=8.0, downtime=300.0, runs=RUNS
+    ),
+}
+
+
+def render_table1() -> str:
+    rows = table1_rows()
+    headers = ["system", "recovery", "user exceptions", "multiple techniques"]
+    widths = {
+        "system": 22,
+        "recovery": 58,
+        "user exceptions": 15,
+        "multiple techniques": 19,
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[h])[: widths[h]].ljust(widths[h]) for h in headers)
+        )
+    return "\n".join(lines)
+
+
+def quantify():
+    results = {}
+    for env_name, params in ENVIRONMENTS.items():
+        technique, best = adaptive_choice(params)
+        rows = {}
+        for system_name, preset in sorted(PRESETS.items()):
+            rows[system_name] = float(preset.sample(params).mean())
+        results[env_name] = {
+            "adaptive_technique": technique,
+            "adaptive_mean": best,
+            "systems": rows,
+        }
+    return results
+
+
+def test_table1_baselines(benchmark):
+    results = once(benchmark, quantify)
+    blocks = [render_table1(), ""]
+    for env_name, data in results.items():
+        blocks.append(f"--- environment: {env_name} ---")
+        blocks.append(
+            f"  Grid-WFS adaptive choice: "
+            f"{TECHNIQUE_LABELS[data['adaptive_technique']]} "
+            f"(E[T] ~ {data['adaptive_mean']:.1f}s)"
+        )
+        for system_name, mean in sorted(
+            data["systems"].items(), key=lambda kv: kv[1]
+        ):
+            penalty = mean / data["adaptive_mean"]
+            blocks.append(
+                f"    {system_name:10s} E[T] ~ {mean:10.1f}s   {penalty:6.2f}x"
+            )
+        blocks.append("")
+    emit("table1_baselines", "\n".join(blocks))
+
+    # -- claims --------------------------------------------------------------
+    # (1) the registry matches the paper's qualitative table.
+    assert len(TABLE1) == 8
+    assert not any(s.supports_user_exceptions for s in TABLE1)
+    assert not any(s.supports_multiple_techniques for s in TABLE1)
+    # (2) no single fixed strategy is best in every environment: the winner
+    # among the emulated systems changes across regimes.
+    winners = {
+        env: min(data["systems"], key=data["systems"].get)
+        for env, data in results.items()
+    }
+    assert len(set(winners.values())) >= 2, winners
+    # (3) the adaptive policy is never beaten by any fixed system (within
+    # Monte-Carlo slack), and beats the WORST fixed choice by a large
+    # factor in the harsh environment.
+    for data in results.values():
+        for mean in data["systems"].values():
+            assert data["adaptive_mean"] <= mean * 1.03
+    harsh = results["flaky + slow repair (MTTF=8, D=300)"]
+    assert max(harsh["systems"].values()) > 5 * harsh["adaptive_mean"]

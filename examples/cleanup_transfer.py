@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Semantic undo via an alternative task (Section 5.1's second use).
+
+"For a task which transfers a huge amount of data, users may want to define
+an alternative task such that the alternative task is activated to clean up
+the partially transferred data if the original task has failed."
+
+This example wires that pattern through the data catalog: the transfer task
+registers a *partial* replica as it streams; on success it marks the replica
+complete; on a crash, the workflow-level ``on_failure`` edge launches a
+cleanup task that retracts the partial replica.  The workflow itself then
+completes successfully — the failure was *compensated*, not masked.
+
+Run:  python examples/cleanup_transfer.py
+"""
+
+from repro import (
+    FixedDurationTask,
+    JoinMode,
+    RELIABLE,
+    SimulatedGrid,
+    WorkflowBuilder,
+    WorkflowEngine,
+)
+from repro.catalogs import DataCatalog, DataReplica
+from repro.grid.behaviors import CrashingTask
+
+CATALOG = DataCatalog()
+
+
+class TransferTask(CrashingTask):
+    """Simulated bulk transfer that registers its replica in the catalog.
+
+    Catalog bookkeeping happens at plan time (when the transfer begins):
+    a partial replica appears immediately; the completion step upgrades it.
+    The behaviour still crashes per CrashingTask's schedule.
+    """
+
+    def plan(self, ctx):
+        plan = super().plan(ctx)
+        CATALOG.register(
+            DataReplica(
+                logical_name="survey.dat",
+                hostname=ctx.host.hostname,
+                path=f"/incoming/survey.dat.part{ctx.attempt}",
+                size_gb=120.0,
+                complete=False,
+            )
+        )
+        if plan[-1].action == "end":
+            # Completing the transfer renames the part-file into place:
+            # the partial record goes away, a complete one appears.
+            CATALOG.retract(
+                "survey.dat",
+                ctx.host.hostname,
+                f"/incoming/survey.dat.part{ctx.attempt}",
+            )
+            CATALOG.register(
+                DataReplica(
+                    logical_name="survey.dat",
+                    hostname=ctx.host.hostname,
+                    path="/incoming/survey.dat",
+                    size_gb=120.0,
+                    complete=True,
+                )
+            )
+        return plan
+
+
+class CleanupTask(FixedDurationTask):
+    """Retracts every partial replica of the logical file."""
+
+    def plan(self, ctx):
+        for replica in CATALOG.partial_replicas():
+            if replica.logical_name == "survey.dat":
+                CATALOG.retract(
+                    replica.logical_name, replica.hostname, replica.path
+                )
+        return super().plan(ctx)
+
+
+def build_workflow():
+    return (
+        WorkflowBuilder("transfer-with-compensation")
+        .program("transfer", hosts=["ingest.example.org"])
+        .program("cleanup", hosts=["ingest.example.org"])
+        .activity("transfer", implement="transfer")
+        .activity("cleanup", implement="cleanup")
+        .dummy("finished", join=JoinMode.OR)
+        .transition("transfer", "finished")
+        .on_failure("transfer", "cleanup")
+        .transition("cleanup", "finished")
+        .build()
+    )
+
+
+def run(*, transfer_crashes: bool) -> None:
+    CATALOG._replicas.clear()  # reset module-level demo state
+    grid = SimulatedGrid()
+    grid.add_host(RELIABLE("ingest.example.org"))
+    grid.install(
+        "ingest.example.org",
+        "transfer",
+        TransferTask(
+            duration=60.0,
+            crash_at=25.0,
+            crashes=None if transfer_crashes else 0,
+        ),
+    )
+    grid.install("ingest.example.org", "cleanup", CleanupTask(duration=3.0))
+    result = WorkflowEngine(build_workflow(), grid, reactor=grid.reactor).run()
+    partials = CATALOG.partial_replicas()
+    complete = CATALOG.replicas_of("survey.dat")
+    print(
+        f"  transfer={result.node_statuses['transfer']} "
+        f"cleanup={result.node_statuses['cleanup']} "
+        f"workflow={result.status}"
+    )
+    print(
+        f"  catalog: {len(complete)} complete replica(s), "
+        f"{len(partials)} partial left behind"
+    )
+    assert result.succeeded
+    assert not partials, "compensation must leave no partial replicas"
+
+
+def main() -> None:
+    print("transfer succeeds (cleanup benignly skipped):")
+    run(transfer_crashes=False)
+    print("\ntransfer crashes mid-stream (cleanup compensates):")
+    run(transfer_crashes=True)
+
+
+if __name__ == "__main__":
+    main()

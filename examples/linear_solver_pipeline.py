@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""The paper's Section-1 motivating scenario: a linear-solver pipeline with
+user-defined exception handling and an alternative algorithm.
+
+Two solver implementations exist for the same computation:
+
+* ``solve_mem`` — fast, but needs a lot of memory; raises the user-defined
+  ``out_of_memory`` exception when the problem does not fit;
+* ``solve_disk`` — slow, but frugal (uses local disk instead of memory).
+
+The workflow structure — not the solver code — says what to do: on
+``out_of_memory``, abandon the fast solver and launch the disk-based one
+(Figure 6's alternative-task pattern).  Changing this strategy later means
+editing the workflow, not recompiling any application.
+
+Run:  python examples/linear_solver_pipeline.py
+"""
+
+from repro import (
+    ExceptionProneTask,
+    FailurePolicy,
+    FixedDurationTask,
+    JoinMode,
+    RELIABLE,
+    SimulatedGrid,
+    WorkflowBuilder,
+    WorkflowEngine,
+    serialize_wpdl,
+)
+
+
+def build_pipeline():
+    return (
+        WorkflowBuilder("linear-solver")
+        .program("prepare_matrix", hosts=["cluster.example.org"])
+        .program("solve_mem", hosts=["bigmem.example.org"])
+        .program("solve_disk", hosts=["cluster.example.org"])
+        .program("report", hosts=["cluster.example.org"])
+        .activity("prepare", implement="prepare_matrix", outputs=["matrix"])
+        .activity(
+            "solve_fast",
+            implement="solve_mem",
+            # Retry once in case of a transient crash, and declare a
+            # performance failure if convergence takes more than 60s
+            # (Section 1's "within 30 minutes" deadline, scaled down).
+            policy=FailurePolicy(max_tries=2, attempt_timeout=60.0),
+        )
+        # ...but out_of_memory is NOT transient: route it to the alternative
+        # algorithm instead of retrying into the same wall.
+        .activity("solve_slow", implement="solve_disk", join=JoinMode.OR)
+        .dummy("solved", join=JoinMode.OR)
+        .activity("report", implement="report")
+        .transition("prepare", "solve_fast")
+        .transition("solve_fast", "solved")
+        .on_exception("solve_fast", "out_of_memory", "solve_slow")
+        .on_failure("solve_fast", "solve_slow")
+        .transition("solve_slow", "solved")
+        .transition("solved", "report")
+        .build()
+    )
+
+
+def make_grid(*, problem_fits_in_memory: bool, solver_hangs: bool = False) -> SimulatedGrid:
+    grid = SimulatedGrid(seed=17)
+    grid.add_host(RELIABLE("cluster.example.org"))
+    grid.add_host(RELIABLE("bigmem.example.org", memory_gb=256))
+    grid.install(
+        "cluster.example.org", "prepare_matrix",
+        FixedDurationTask(5.0, result={"matrix": "A_9000x9000"}),
+    )
+    if solver_hangs:
+        # Converges far too slowly: a performance failure per Section 1.
+        fast = FixedDurationTask(10_000.0, result="solution")
+    elif problem_fits_in_memory:
+        fast = FixedDurationTask(20.0, result="solution")
+    else:
+        # Checks memory twice during execution; with probability 1 the
+        # second check finds the heap exhausted.
+        fast = ExceptionProneTask(
+            duration=20.0, checks=2, probability=1.0,
+            exception_name="out_of_memory",
+        )
+    grid.install("bigmem.example.org", "solve_mem", fast)
+    grid.install(
+        "cluster.example.org", "solve_disk",
+        FixedDurationTask(90.0, result="solution"),
+    )
+    grid.install("cluster.example.org", "report", FixedDurationTask(2.0))
+    return grid
+
+
+def run(title: str, *, fits: bool, hangs: bool = False) -> None:
+    print(f"--- {title} ---")
+    grid = make_grid(problem_fits_in_memory=fits, solver_hangs=hangs)
+    engine = WorkflowEngine(build_pipeline(), grid, reactor=grid.reactor)
+    result = engine.run()
+    for node, status in result.node_statuses.items():
+        print(f"  {node:12s} {status}")
+    print(f"  => {result.status} in {result.completion_time:.1f} virtual seconds\n")
+    assert result.succeeded
+
+
+def main() -> None:
+    workflow = build_pipeline()
+    print("Workflow specification (XML WPDL):")
+    print(serialize_wpdl(workflow))
+    run("small problem: fast in-memory solver wins", fits=True)
+    run("huge problem: out_of_memory routed to the disk-based solver", fits=False)
+    run(
+        "pathological problem: solver never converges — the deadline "
+        "(performance failure) kicks in and the disk solver takes over",
+        fits=True,
+        hangs=True,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Which failure-handling technique should a task use?  It depends — and
+Grid-WFS lets you pick per task.  This example sweeps the environment
+parameters of the paper's evaluation (MTTF, downtime) and prints the
+technique an adaptive Grid-WFS user would select for each regime, alongside
+what each single-strategy prior system (Table 1) would deliver.
+
+Run:  python examples/policy_explorer.py
+"""
+
+from repro.baselines import PRESETS, adaptive_choice
+from repro.sim import SimulationParams, TECHNIQUE_LABELS
+
+RUNS = 20_000
+
+
+def explore(mttf: float, downtime: float) -> None:
+    params = SimulationParams(mttf=mttf, downtime=downtime, runs=RUNS)
+    technique, best = adaptive_choice(params)
+    print(f"\nMTTF={mttf:g}s, downtime={downtime:g}s")
+    print(f"  Grid-WFS picks: {TECHNIQUE_LABELS[technique]}  (E[T] ~ {best:.1f}s)")
+    rows = []
+    for name, preset in sorted(PRESETS.items()):
+        mean = preset.sample(params).mean()
+        rows.append((mean, name, preset.technique))
+    for mean, name, technique_name in sorted(rows):
+        penalty = mean / best
+        print(
+            f"    {name:10s} ({TECHNIQUE_LABELS[technique_name]:28s}) "
+            f"E[T] ~ {mean:9.1f}s   {penalty:5.2f}x"
+        )
+
+
+def main() -> None:
+    print(
+        "Expected completion time of a 30s task (F=30, K=20, C=R=0.5, N=3)\n"
+        "under each prior system's only strategy vs Grid-WFS's per-regime\n"
+        "choice.  The best technique changes with the environment — the\n"
+        "paper's core argument for supporting multiple techniques."
+    )
+    explore(mttf=8.0, downtime=0.0)      # very flaky, instant repair
+    explore(mttf=50.0, downtime=0.0)     # fairly reliable
+    explore(mttf=8.0, downtime=300.0)    # flaky AND slow to repair
+    explore(mttf=100.0, downtime=300.0)  # reliable but long outages
+
+
+if __name__ == "__main__":
+    main()

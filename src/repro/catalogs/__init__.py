@@ -1,0 +1,14 @@
+"""Workflow runtime directory services (Figure 7): software, data, resource."""
+
+from .data import DataCatalog, DataReplica
+from .resource import ResourceCatalog, ResourceQuery
+from .software import SoftwareCatalog, SoftwareEntry
+
+__all__ = [
+    "DataCatalog",
+    "DataReplica",
+    "ResourceCatalog",
+    "ResourceQuery",
+    "SoftwareCatalog",
+    "SoftwareEntry",
+]

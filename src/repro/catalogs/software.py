@@ -1,0 +1,81 @@
+"""Software catalog.
+
+One of the three directory services of the Grid-WFS architecture (Figure 7).
+Maps a logical computation name to the implementations available on the
+Grid, each with its execution characteristics — the information a user (or
+broker) needs to pick between, say, a fast-but-memory-hungry algorithm and a
+slow-but-frugal one (the Section 2.3 motivating example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import CatalogError
+
+__all__ = ["SoftwareEntry", "SoftwareCatalog"]
+
+
+@dataclass(frozen=True)
+class SoftwareEntry:
+    """One installed implementation of a logical computation.
+
+    Attributes
+    ----------
+    name:
+        Executable name (matches WPDL ``<Implement>`` / ``executable=``).
+    computation:
+        The logical computation this implements (several entries may share
+        one computation — the alternative-implementations case).
+    hostname / directory:
+        Where the executable is installed.
+    requirements:
+        Resource requirements for matchmaking (``{"disk_gb": 40, ...}``).
+    characteristics:
+        Free-form execution characteristics (``{"speed": "fast",
+        "reliability": "low"}``) that policies and brokers may inspect.
+    """
+
+    name: str
+    computation: str
+    hostname: str
+    directory: str = ""
+    requirements: dict[str, float] = field(default_factory=dict)
+    characteristics: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.computation or not self.hostname:
+            raise CatalogError(
+                "software entry requires name, computation and hostname"
+            )
+
+
+class SoftwareCatalog:
+    """Registry of :class:`SoftwareEntry`, queryable two ways."""
+
+    def __init__(self) -> None:
+        self._entries: list[SoftwareEntry] = []
+
+    def register(self, entry: SoftwareEntry) -> None:
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def implementations_of(self, computation: str) -> list[SoftwareEntry]:
+        """All implementations of a logical computation, anywhere."""
+        return [e for e in self._entries if e.computation == computation]
+
+    def locations_of(self, name: str) -> list[SoftwareEntry]:
+        """All hosts where executable *name* is installed."""
+        return [e for e in self._entries if e.name == name]
+
+    def lookup(self, name: str, hostname: str) -> SoftwareEntry:
+        for entry in self._entries:
+            if entry.name == name and entry.hostname == hostname:
+                return entry
+        raise CatalogError(f"executable {name!r} not catalogued on {hostname!r}")
+
+    def computations(self) -> list[str]:
+        return sorted({e.computation for e in self._entries})

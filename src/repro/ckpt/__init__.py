@@ -1,0 +1,12 @@
+"""Checkpoint substrate: keyed stores plus framework-side flag bookkeeping."""
+
+from .manager import CheckpointManager, CheckpointRecord
+from .store import CheckpointStore, FileCheckpointStore, MemoryCheckpointStore
+
+__all__ = [
+    "CheckpointManager",
+    "CheckpointRecord",
+    "CheckpointStore",
+    "FileCheckpointStore",
+    "MemoryCheckpointStore",
+]

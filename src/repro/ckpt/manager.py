@@ -1,0 +1,81 @@
+"""Framework-side checkpoint bookkeeping.
+
+Section 4.3: "Upon receipt of the checkpoint notification from a task, the
+framework marks the task as checkpoint-enabled, and saves the checkpoint
+flag being delivered piggybacked on the notification message.  Hence, when
+the task crash failure is detected and retrying is specified, the framework
+retries the task from the checkpointed state by sending back the checkpoint
+flag."
+
+:class:`CheckpointManager` is exactly that bookkeeping: per-activity latest
+flag, checkpoint-enabled marking, and garbage collection on success.  It is
+deliberately independent of the storage substrate — flags are opaque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CheckpointManager", "CheckpointRecord"]
+
+
+@dataclass
+class CheckpointRecord:
+    """Latest known checkpoint for one activity."""
+
+    activity: str
+    flag: str
+    progress: float = 0.0
+    #: Time the flag was recorded (reactor seconds), for diagnostics.
+    recorded_at: float = 0.0
+
+
+class CheckpointManager:
+    """Tracks which activities are checkpoint-enabled and their last flag."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, CheckpointRecord] = {}
+
+    def record(
+        self, activity: str, flag: str, *, progress: float = 0.0, at: float = 0.0
+    ) -> None:
+        """Store the newest flag for *activity* (marks it checkpoint-enabled)."""
+        self._records[activity] = CheckpointRecord(
+            activity=activity, flag=flag, progress=progress, recorded_at=at
+        )
+
+    def is_checkpoint_enabled(self, activity: str) -> bool:
+        return activity in self._records
+
+    def flag_for(self, activity: str) -> str | None:
+        """Flag to send back on a retry, or None for a from-scratch start."""
+        record = self._records.get(activity)
+        return record.flag if record else None
+
+    def progress_of(self, activity: str) -> float:
+        record = self._records.get(activity)
+        return record.progress if record else 0.0
+
+    def clear(self, activity: str) -> None:
+        """Forget the activity's flag (after success, or to force a cold
+        restart)."""
+        self._records.pop(activity, None)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Serialisable view, embedded in engine checkpoints."""
+        return {
+            a: {"flag": r.flag, "progress": r.progress, "recorded_at": r.recorded_at}
+            for a, r in self._records.items()
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict[str, dict]) -> "CheckpointManager":
+        mgr = cls()
+        for activity, data in snapshot.items():
+            mgr.record(
+                activity,
+                data["flag"],
+                progress=float(data.get("progress", 0.0)),
+                at=float(data.get("recorded_at", 0.0)),
+            )
+        return mgr

@@ -1,0 +1,247 @@
+"""Per-task failure detector.
+
+Combines the two input streams of the generic failure detection service —
+substrate signals (``Done``, host suspicion from the heartbeat monitor) and
+application notifications (``TaskStart`` / ``TaskEnd`` / ``Exception`` /
+``Checkpoint``) — into the task state machine of
+:mod:`repro.core.states`, applying the paper's determination rules:
+
+* ``TaskStart`` ⇒ ``ACTIVE``;
+* ``Exception`` ⇒ ``EXCEPTION`` (a user-defined, task-specific failure);
+* ``Done`` after ``TaskEnd`` ⇒ ``DONE`` (success);
+* ``Done`` without ``TaskEnd`` ⇒ ``FAILED`` (task crash failure);
+* host suspected while the attempt is non-terminal ⇒ ``FAILED``.
+
+For every terminal state an :class:`AttemptOutcome` is published on the
+event bus under ``task.done`` / ``task.failed`` / ``task.exception`` — the
+engine's recovery coordinator subscribes to these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.exceptions import UserException
+from ..core.states import TaskState, TaskStateMachine
+from ..errors import DetectionError
+from ..events import EventBus
+from ..reactor import Reactor
+from .heartbeat import HOST_SUSPECTED, HeartbeatMonitor
+from .messages import (
+    CheckpointNotice,
+    Done,
+    ExceptionNotice,
+    Heartbeat,
+    Message,
+    TaskEnd,
+    TaskStart,
+)
+
+__all__ = [
+    "FailureDetector",
+    "AttemptOutcome",
+    "TASK_ACTIVE",
+    "TASK_DONE",
+    "TASK_FAILED",
+    "TASK_EXCEPTION",
+]
+
+TASK_ACTIVE = "task.active"
+TASK_DONE = "task.done"
+TASK_FAILED = "task.failed"
+TASK_EXCEPTION = "task.exception"
+
+_TOPIC_FOR_STATE = {
+    TaskState.ACTIVE: TASK_ACTIVE,
+    TaskState.DONE: TASK_DONE,
+    TaskState.FAILED: TASK_FAILED,
+    TaskState.EXCEPTION: TASK_EXCEPTION,
+}
+
+
+@dataclass
+class AttemptOutcome:
+    """Published record of one attempt's state change / terminal outcome."""
+
+    job_id: str
+    activity: str
+    state: TaskState
+    hostname: str = ""
+    #: Present when ``state is EXCEPTION``.
+    exception: UserException | None = None
+    #: Last checkpoint flag seen before the attempt ended, if any.
+    checkpoint_flag: str | None = None
+    #: TaskEnd result payload, when the attempt succeeded.
+    result: Any = None
+    #: Why the detector failed the attempt ("done-without-taskend",
+    #: "host-suspected", "submission-rejected", ...).
+    reason: str = ""
+    at: float = 0.0
+
+
+@dataclass
+class _Attempt:
+    job_id: str
+    activity: str
+    hostname: str
+    machine: TaskStateMachine
+    saw_task_end: bool = False
+    result: Any = None
+    checkpoint_flag: str | None = None
+    checkpoint_progress: float = 0.0
+    exception: UserException | None = None
+    messages: list[Message] = field(default_factory=list)
+
+
+class FailureDetector:
+    """Tracks task attempts and publishes their detected states.
+
+    The detector owns a :class:`HeartbeatMonitor` when constructed with a
+    heartbeat timeout, wiring host suspicion to attempt failure
+    automatically.
+    """
+
+    def __init__(
+        self,
+        reactor: Reactor,
+        bus: EventBus,
+        *,
+        heartbeat_timeout: float | None = None,
+    ) -> None:
+        self._reactor = reactor
+        self._bus = bus
+        self._attempts: dict[str, _Attempt] = {}
+        self.monitor: HeartbeatMonitor | None = None
+        if heartbeat_timeout is not None:
+            self.monitor = HeartbeatMonitor(reactor, bus, timeout=heartbeat_timeout)
+            bus.subscribe(HOST_SUSPECTED, self._on_host_suspected)
+
+    def start(self) -> None:
+        if self.monitor is not None:
+            self.monitor.start()
+
+    def stop(self) -> None:
+        if self.monitor is not None:
+            self.monitor.stop()
+
+    # -- registration --------------------------------------------------------
+
+    def track(self, job_id: str, activity: str, hostname: str) -> None:
+        """Begin tracking a submitted attempt (state ``INACTIVE``)."""
+        if job_id in self._attempts:
+            raise DetectionError(f"job {job_id!r} is already tracked")
+        self._attempts[job_id] = _Attempt(
+            job_id=job_id,
+            activity=activity,
+            hostname=hostname,
+            machine=TaskStateMachine(activity),
+        )
+        if self.monitor is not None:
+            self.monitor.watch(hostname)
+
+    def forget(self, job_id: str) -> None:
+        """Stop tracking (used when cancelling sibling replicas)."""
+        self._attempts.pop(job_id, None)
+
+    def submission_rejected(self, job_id: str, activity: str, hostname: str,
+                            reason: str) -> None:
+        """Record a submission that never started (host down, unknown
+        executable): INACTIVE -> FAILED."""
+        if job_id not in self._attempts:
+            self.track(job_id, activity, hostname)
+        attempt = self._attempts[job_id]
+        self._finish(attempt, TaskState.FAILED, reason=reason)
+
+    # -- message input ---------------------------------------------------------
+
+    def deliver(self, msg: Message) -> None:
+        """Feed one message from the network / executor into the detector."""
+        if isinstance(msg, Heartbeat):
+            if self.monitor is not None:
+                self.monitor.observe(msg)
+            return
+        job_id = getattr(msg, "job_id", "")
+        attempt = self._attempts.get(job_id)
+        if attempt is None or attempt.machine.terminal:
+            return  # late or unknown message: ignore (network is async)
+        attempt.messages.append(msg)
+        if isinstance(msg, TaskStart):
+            if attempt.machine.state is TaskState.INACTIVE:
+                attempt.machine.transition(TaskState.ACTIVE, at=self._reactor.now())
+                self._publish(attempt, reason="task-start")
+        elif isinstance(msg, CheckpointNotice):
+            attempt.checkpoint_flag = msg.flag
+            attempt.checkpoint_progress = msg.progress
+        elif isinstance(msg, TaskEnd):
+            attempt.saw_task_end = True
+            attempt.result = msg.result
+        elif isinstance(msg, ExceptionNotice):
+            attempt.exception = msg.exception
+            self._ensure_active(attempt)
+            self._finish(attempt, TaskState.EXCEPTION, reason="exception-notice")
+        elif isinstance(msg, Done):
+            self._on_done(attempt, msg)
+        else:  # pragma: no cover - defensive
+            raise DetectionError(f"unhandled message type: {type(msg).__name__}")
+
+    # -- determination rules ---------------------------------------------------
+
+    def _on_done(self, attempt: _Attempt, msg: Done) -> None:
+        self._ensure_active(attempt)
+        if attempt.saw_task_end and msg.exit_code == 0 and not msg.host_crashed:
+            self._finish(attempt, TaskState.DONE, reason="done-with-taskend")
+        else:
+            reason = (
+                "host-crashed"
+                if msg.host_crashed
+                else "done-without-taskend"
+                if not attempt.saw_task_end
+                else f"nonzero-exit({msg.exit_code})"
+            )
+            self._finish(attempt, TaskState.FAILED, reason=reason)
+
+    def _on_host_suspected(self, _topic: str, hostname: str) -> None:
+        for attempt in list(self._attempts.values()):
+            if attempt.hostname == hostname and not attempt.machine.terminal:
+                self._ensure_active(attempt)
+                self._finish(attempt, TaskState.FAILED, reason="host-suspected")
+
+    def _ensure_active(self, attempt: _Attempt) -> None:
+        """Some terminal signals can arrive before TaskStart (a task that
+        crashes immediately).  Promote to ACTIVE so the terminal transition
+        is legal."""
+        if attempt.machine.state is TaskState.INACTIVE:
+            attempt.machine.transition(TaskState.ACTIVE, at=self._reactor.now())
+
+    def _finish(self, attempt: _Attempt, state: TaskState, *, reason: str) -> None:
+        attempt.machine.transition(state, at=self._reactor.now())
+        self._publish(attempt, reason=reason)
+
+    def _publish(self, attempt: _Attempt, *, reason: str) -> None:
+        outcome = AttemptOutcome(
+            job_id=attempt.job_id,
+            activity=attempt.activity,
+            state=attempt.machine.state,
+            hostname=attempt.hostname,
+            exception=attempt.exception,
+            checkpoint_flag=attempt.checkpoint_flag,
+            result=attempt.result,
+            reason=reason,
+            at=self._reactor.now(),
+        )
+        self._bus.publish(_TOPIC_FOR_STATE[attempt.machine.state], outcome)
+
+    # -- queries ------------------------------------------------------------------
+
+    def state_of(self, job_id: str) -> TaskState | None:
+        attempt = self._attempts.get(job_id)
+        return attempt.machine.state if attempt else None
+
+    def attempt_log(self, job_id: str) -> list[Message]:
+        attempt = self._attempts.get(job_id)
+        return list(attempt.messages) if attempt else []
+
+    def checkpoint_flag(self, job_id: str) -> str | None:
+        attempt = self._attempts.get(job_id)
+        return attempt.checkpoint_flag if attempt else None

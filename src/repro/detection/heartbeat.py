@@ -1,0 +1,151 @@
+"""Heartbeat-based host liveness monitoring.
+
+Each Grid host's generic server emits periodic :class:`Heartbeat` messages.
+The monitor tracks the last beat per host and, on a periodic sweep, declares
+any host silent for longer than ``timeout`` seconds *suspected* — the
+liveness half of the paper's generic failure detection service, covering
+host crashes, reboots, and network partitions (which are indistinguishable
+from the client's vantage point, as usual for failure detectors in
+asynchronous systems).
+
+Suspicion is published on the event bus as ``detector.host_suspected`` and
+revoked with ``detector.host_recovered`` if beats resume (e.g. a partition
+healed).  The task-level failure detector combines host suspicion with the
+notification stream to fail tasks running on suspected hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events import EventBus
+from ..reactor import Reactor, TimerHandle
+from .messages import Heartbeat
+
+__all__ = ["HeartbeatMonitor", "HostLiveness", "HOST_SUSPECTED", "HOST_RECOVERED"]
+
+HOST_SUSPECTED = "detector.host_suspected"
+HOST_RECOVERED = "detector.host_recovered"
+
+
+@dataclass
+class HostLiveness:
+    """Monitor-side record for one host."""
+
+    hostname: str
+    last_beat: float
+    last_seq: int
+    suspected: bool = False
+    #: Number of times this host has been suspected (diagnostics).
+    suspicions: int = 0
+
+
+class HeartbeatMonitor:
+    """Declares hosts suspected after ``timeout`` seconds of silence.
+
+    Parameters
+    ----------
+    reactor:
+        Time/timer source (simulated or real).
+    bus:
+        Event bus on which suspicion/recovery events are published.  The
+        payload is the hostname.
+    timeout:
+        Silence threshold.  Should exceed the heartbeat period plus the
+        maximum expected network delay, or live hosts will be falsely
+        suspected (the classic accuracy/completeness trade-off, exercised
+        by the heartbeat-timeout ablation benchmark).
+    sweep_interval:
+        How often to scan for silent hosts; defaults to ``timeout / 2``.
+    """
+
+    def __init__(
+        self,
+        reactor: Reactor,
+        bus: EventBus,
+        *,
+        timeout: float,
+        sweep_interval: float | None = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout!r}")
+        self._reactor = reactor
+        self._bus = bus
+        self.timeout = timeout
+        self.sweep_interval = sweep_interval if sweep_interval else timeout / 2
+        self._hosts: dict[str, HostLiveness] = {}
+        self._running = False
+        self._sweep_handle: TimerHandle | None = None
+        #: False suspicions observed so far: suspected hosts that later
+        #: resumed beating with a continuing sequence number.
+        self.false_suspicions = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic sweeps."""
+        if not self._running:
+            self._running = True
+            self._schedule_sweep()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._sweep_handle is not None:
+            self._sweep_handle.cancel()
+            self._sweep_handle = None
+
+    def _schedule_sweep(self) -> None:
+        self._sweep_handle = self._reactor.call_later(self.sweep_interval, self._sweep)
+
+    # -- input -------------------------------------------------------------------
+
+    def observe(self, beat: Heartbeat) -> None:
+        """Feed one heartbeat into the monitor."""
+        now = self._reactor.now()
+        record = self._hosts.get(beat.hostname)
+        if record is None:
+            self._hosts[beat.hostname] = HostLiveness(
+                hostname=beat.hostname, last_beat=now, last_seq=beat.seq
+            )
+            return
+        record.last_beat = now
+        record.last_seq = beat.seq
+        if record.suspected:
+            record.suspected = False
+            self.false_suspicions += 1
+            self._bus.publish(HOST_RECOVERED, beat.hostname)
+
+    def watch(self, hostname: str) -> None:
+        """Register *hostname* before its first beat (treats registration
+        time as a synthetic beat, so the timeout applies immediately)."""
+        if hostname not in self._hosts:
+            self._hosts[hostname] = HostLiveness(
+                hostname=hostname, last_beat=self._reactor.now(), last_seq=-1
+            )
+
+    # -- sweep ---------------------------------------------------------------------
+
+    def _sweep(self) -> None:
+        if not self._running:
+            return
+        now = self._reactor.now()
+        # Snapshot: a published suspicion can synchronously trigger recovery
+        # (retry on another host), which registers new hosts mid-sweep.
+        for record in list(self._hosts.values()):
+            if not record.suspected and now - record.last_beat > self.timeout:
+                record.suspected = True
+                record.suspicions += 1
+                self._bus.publish(HOST_SUSPECTED, record.hostname)
+        self._schedule_sweep()
+
+    # -- queries ----------------------------------------------------------------------
+
+    def is_suspected(self, hostname: str) -> bool:
+        record = self._hosts.get(hostname)
+        return bool(record and record.suspected)
+
+    def liveness(self, hostname: str) -> HostLiveness | None:
+        return self._hosts.get(hostname)
+
+    def suspected_hosts(self) -> list[str]:
+        return sorted(h.hostname for h in self._hosts.values() if h.suspected)

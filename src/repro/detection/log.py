@@ -1,0 +1,92 @@
+"""Message logging and replay for the detection service.
+
+The paper's companion report specifies "the format of notification
+messages"; this module makes that wire format operational: every message
+crossing the client sink can be appended to a JSON-lines log and later
+*replayed* into a fresh detector.  Replay gives post-mortem debugging
+("re-run the detector over last night's messages") and detector regression
+testing (a recorded incident becomes a fixture).
+
+Usage::
+
+    log = MessageLog(path)
+    grid.connect(log.tee(detector.deliver))   # record while delivering
+    ...
+    replayed = MessageLog.read(path)          # later / elsewhere
+    for msg in replayed:
+        fresh_detector.deliver(msg)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterator
+
+from ..errors import DetectionError
+from .messages import Message, decode, encode
+
+__all__ = ["MessageLog"]
+
+
+class MessageLog:
+    """Append-only JSONL log of detection-service messages."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.recorded = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, msg: Message) -> None:
+        """Append one message."""
+        line = json.dumps(encode(msg), sort_keys=True)
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+        self.recorded += 1
+
+    def tee(
+        self, sink: Callable[[Message], None]
+    ) -> Callable[[Message], None]:
+        """A sink wrapper that records each message, then forwards it —
+        drop-in for ``service.connect``."""
+
+        def recording_sink(msg: Message) -> None:
+            self.record(msg)
+            sink(msg)
+
+        return recording_sink
+
+    # -- replay ----------------------------------------------------------------
+
+    @classmethod
+    def read(cls, path: str | Path) -> Iterator[Message]:
+        """Yield the logged messages in recorded order."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise DetectionError(f"cannot read message log {path}: {exc}") from exc
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DetectionError(
+                    f"message log {path} line {lineno} is corrupt: {exc}"
+                ) from exc
+            yield decode(payload)
+
+    @classmethod
+    def replay(
+        cls, path: str | Path, sink: Callable[[Message], None]
+    ) -> int:
+        """Feed every logged message into *sink*; returns the count."""
+        count = 0
+        for msg in cls.read(path):
+            sink(msg)
+            count += 1
+        return count

@@ -1,0 +1,169 @@
+"""Notification and heartbeat message types of the failure detection service.
+
+The paper's generic failure detection service ([18], summarised in its
+Section 3) rests on two message families delivered from each Grid node to
+the workflow client:
+
+* **heartbeats** — periodic liveness beacons from the host's generic server;
+  their absence beyond a timeout is interpreted as a host crash / network
+  partition;
+* **event notifications** — application-level events emitted through the
+  task-side API: ``TaskStart``, ``TaskEnd``, ``Exception`` (user-defined),
+  and ``Checkpoint`` (the piggybacked checkpoint flag of Section 4.3) —
+  plus the substrate-level ``Done`` signal that the job's process
+  terminated (the GRAM job state change).
+
+Messages are immutable dataclasses with a stable dict wire format
+(:func:`encode` / :func:`decode`) so they can cross a real network or be
+logged and replayed; inside the simulation they are passed as objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, ClassVar
+
+from ..core.exceptions import UserException
+from ..errors import DetectionError
+
+__all__ = [
+    "Message",
+    "Heartbeat",
+    "TaskStart",
+    "TaskEnd",
+    "ExceptionNotice",
+    "CheckpointNotice",
+    "Done",
+    "encode",
+    "decode",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all detection-service messages."""
+
+    #: Wire-format discriminator; overridden per subclass.
+    kind: ClassVar[str] = "message"
+
+    #: Send time (reactor/simulation seconds at the origin).
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Periodic liveness beacon from a host's generic server."""
+
+    kind: ClassVar[str] = "heartbeat"
+    hostname: str = ""
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.hostname:
+            raise DetectionError("heartbeat requires a hostname")
+
+
+@dataclass(frozen=True)
+class TaskStart(Message):
+    """The application entered its main body (task-side API call)."""
+
+    kind: ClassVar[str] = "task_start"
+    job_id: str = ""
+    hostname: str = ""
+
+
+@dataclass(frozen=True)
+class TaskEnd(Message):
+    """The application reached its logical end.
+
+    Per the paper's detection rule, only a ``Done`` *preceded by* this
+    notification counts as success.
+    """
+
+    kind: ClassVar[str] = "task_end"
+    job_id: str = ""
+    hostname: str = ""
+    #: Optional task result payload (kept small; large data goes through
+    #: the data catalog, not the notification channel).
+    result: Any = None
+
+
+@dataclass(frozen=True)
+class ExceptionNotice(Message):
+    """A user-defined exception raised inside the task (Section 2.3)."""
+
+    kind: ClassVar[str] = "exception"
+    job_id: str = ""
+    hostname: str = ""
+    exception: UserException = field(default_factory=lambda: UserException("unknown"))
+
+
+@dataclass(frozen=True)
+class CheckpointNotice(Message):
+    """The task saved a checkpoint; the flag rides piggybacked (Section 4.3).
+
+    ``flag`` is opaque to the framework: it is whatever the checkpoint
+    library needs to resume (for :mod:`repro.ckpt` it is a store key).
+    ``progress`` is advisory (fraction of work completed) and used only for
+    reporting.
+    """
+
+    kind: ClassVar[str] = "checkpoint"
+    job_id: str = ""
+    hostname: str = ""
+    flag: str = ""
+    progress: float = 0.0
+
+
+@dataclass(frozen=True)
+class Done(Message):
+    """Substrate-level signal: the job's process is gone.
+
+    Emitted by the execution service when the process exits — normally or
+    not — or when the host it ran on crashed.  ``exit_code`` is 0 for a
+    normal process exit; nonzero or ``host_crashed=True`` for abnormal ends.
+    The detector does *not* trust ``exit_code`` alone: success additionally
+    requires a prior ``TaskEnd``.
+    """
+
+    kind: ClassVar[str] = "done"
+    job_id: str = ""
+    hostname: str = ""
+    exit_code: int = 0
+    host_crashed: bool = False
+
+
+_KINDS: dict[str, type[Message]] = {
+    cls.kind: cls
+    for cls in (Heartbeat, TaskStart, TaskEnd, ExceptionNotice, CheckpointNotice, Done)
+}
+
+
+def encode(msg: Message) -> dict[str, Any]:
+    """Serialise a message to its dict wire format."""
+    payload = asdict(msg)
+    if isinstance(msg, ExceptionNotice):
+        payload["exception"] = {
+            "name": msg.exception.name,
+            "message": msg.exception.message,
+            "data": dict(msg.exception.data),
+        }
+    payload["kind"] = msg.kind
+    return payload
+
+
+def decode(payload: dict[str, Any]) -> Message:
+    """Reconstruct a message from :func:`encode`'s output."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise DetectionError(f"unknown message kind: {kind!r}")
+    if cls is ExceptionNotice:
+        exc = data.pop("exception", None) or {}
+        data["exception"] = UserException(
+            name=exc.get("name", "unknown"),
+            message=exc.get("message", ""),
+            data=dict(exc.get("data", {})),
+        )
+    return cls(**data)

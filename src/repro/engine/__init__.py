@@ -1,0 +1,46 @@
+"""The Grid-WFS workflow engine: instance tree, navigator, broker,
+two-level recovery coordination, engine checkpointing, and executors."""
+
+from .broker import Broker, ResolvedOption
+from .checkpoint import EngineCheckpointer, load_checkpoint
+from .engine import EngineRuntime, WorkflowEngine, WorkflowResult
+from .executors import LocalExecutor
+from .instance import (
+    EdgeState,
+    NodeInstance,
+    NodeStatus,
+    WorkflowInstance,
+    WorkflowStatus,
+)
+from .navigator import (
+    evaluate_outcome,
+    fire_outgoing_edges,
+    propagate_skips,
+    ready_nodes,
+)
+from .recovery import RecoveryCoordinator, TaskResolution
+from .trace import EngineTrace, TraceEvent
+
+__all__ = [
+    "Broker",
+    "ResolvedOption",
+    "EngineCheckpointer",
+    "load_checkpoint",
+    "EngineRuntime",
+    "WorkflowEngine",
+    "WorkflowResult",
+    "LocalExecutor",
+    "EdgeState",
+    "NodeInstance",
+    "NodeStatus",
+    "WorkflowInstance",
+    "WorkflowStatus",
+    "evaluate_outcome",
+    "fire_outgoing_edges",
+    "propagate_skips",
+    "ready_nodes",
+    "RecoveryCoordinator",
+    "TaskResolution",
+    "EngineTrace",
+    "TraceEvent",
+]

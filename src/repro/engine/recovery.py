@@ -1,0 +1,388 @@
+"""Two-level recovery coordination — the heart of the framework.
+
+Implements the paper's Figure 1 control flow on the task side:
+
+* **task-level masking**: after a detected task crash failure, consult the
+  activity's :class:`~repro.core.policy.FailurePolicy` — resubmit (retry)
+  after the configured interval, on the same or a rotated resource, from a
+  checkpoint flag when the task announced one; replicated activities keep
+  one retry loop per resource option and succeed on the first replica to
+  finish;
+* **fail to mask**: when every slot has exhausted its tries, the failure
+  escapes the task level and is reported upward as an unmasked FAILED
+  resolution — the workflow-level structure (alternative tasks, OR joins)
+  then takes over in the navigator;
+* **user-defined exceptions** are *never* masked at the task level (they
+  are task-specific semantics, not generic crashes): the first exception
+  from any replica cancels the activity's other attempts and escalates
+  immediately to the workflow level (Figure 1's "User-defined exception"
+  arrow bypassing the task-level box).
+
+The coordinator is engine-passive: the engine feeds it detector outcomes
+and it answers with submissions (side effects on the execution service) or
+a terminal :class:`TaskResolution` callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..ckpt.manager import CheckpointManager
+from ..core.exceptions import UserException
+from ..core.states import TaskState
+from ..detection.detector import AttemptOutcome, FailureDetector
+from ..errors import RecoveryError
+from ..execution import ExecutionService, SubmitRequest
+from ..reactor import Reactor, TimerHandle
+from ..wpdl.model import Activity, Program
+from .broker import Broker, ResolvedOption
+
+__all__ = ["TaskResolution", "RecoveryCoordinator", "ActivityRun"]
+
+
+@dataclass(frozen=True)
+class TaskResolution:
+    """Terminal verdict for one activity, after task-level recovery."""
+
+    activity: str
+    state: TaskState  # DONE, FAILED or EXCEPTION
+    result: Any = None
+    exception: UserException | None = None
+    #: Total attempts consumed across all slots.
+    tries_used: int = 0
+
+
+@dataclass
+class _Slot:
+    """One retry loop: a resource option position for the activity."""
+
+    index: int
+    option_index: int
+    tries_used: int = 0
+    active_job: str | None = None
+    exhausted: bool = False
+    retry_timer: TimerHandle | None = None
+    #: Performance-failure watchdog for the in-flight attempt.
+    timeout_timer: TimerHandle | None = None
+
+
+@dataclass
+class ActivityRun:
+    """Coordinator state for one in-flight activity."""
+
+    activity: Activity
+    program: Program
+    slots: list[_Slot] = field(default_factory=list)
+    resolved: bool = False
+
+    @property
+    def total_tries(self) -> int:
+        return sum(slot.tries_used for slot in self.slots)
+
+
+class RecoveryCoordinator:
+    """Drives task-level failure handling for every running activity."""
+
+    def __init__(
+        self,
+        service: ExecutionService,
+        detector: FailureDetector,
+        broker: Broker,
+        reactor: Reactor,
+        *,
+        on_resolution: Callable[[TaskResolution], None],
+        checkpoints: CheckpointManager | None = None,
+    ) -> None:
+        self._service = service
+        self._detector = detector
+        self._broker = broker
+        self._reactor = reactor
+        self._on_resolution = on_resolution
+        self.checkpoints = checkpoints or CheckpointManager()
+        self._runs: dict[str, ActivityRun] = {}
+        self._job_index: dict[str, tuple[str, int]] = {}  # job_id -> (activity, slot)
+
+    # -- starting ---------------------------------------------------------------
+
+    def start_activity(
+        self,
+        activity: Activity,
+        program: Program,
+        *,
+        restored_state: dict[str, Any] | None = None,
+    ) -> None:
+        """Begin (or, after an engine restart, resume) an activity.
+
+        ``restored_state`` is the recovery snapshot saved in the engine
+        checkpoint; preserved try counts keep retry budgets honest across
+        engine restarts.
+        """
+        if activity.name in self._runs:
+            raise RecoveryError(f"activity {activity.name!r} is already running")
+        run = ActivityRun(activity=activity, program=program)
+        if activity.policy.replicated:
+            targets = self._broker.resolve_all(activity, program)
+            run.slots = [
+                _Slot(index=i, option_index=t.option_index)
+                for i, t in enumerate(targets)
+            ]
+        else:
+            run.slots = [_Slot(index=0, option_index=0)]
+        if restored_state:
+            self._restore_slots(run, restored_state)
+        self._runs[activity.name] = run
+        for slot in run.slots:
+            if not slot.exhausted:
+                self._submit(run, slot)
+        if all(slot.exhausted for slot in run.slots):
+            # Restored an activity whose budget was already spent.
+            self._resolve_failed(run)
+
+    def _restore_slots(self, run: ActivityRun, state: dict[str, Any]) -> None:
+        saved = state.get("slots", [])
+        for slot, slot_state in zip(run.slots, saved):
+            slot.tries_used = int(slot_state.get("tries", 0))
+            slot.exhausted = bool(slot_state.get("exhausted", False))
+            flag = slot_state.get("flag")
+            if flag:
+                self.checkpoints.record(self._flag_key(run, slot), flag)
+            # A slot mid-retry when the engine died has budget accounting
+            # already done; re-check exhaustion against the policy.
+            if run.activity.policy.tries_remaining(slot.tries_used) <= 0:
+                slot.exhausted = True
+
+    # -- snapshots (for engine checkpointing) ----------------------------------------
+
+    def snapshot_activity(self, name: str) -> dict[str, Any]:
+        run = self._runs.get(name)
+        if run is None:
+            return {}
+        return {
+            "slots": [
+                {
+                    "tries": slot.tries_used,
+                    "exhausted": slot.exhausted,
+                    "option": slot.option_index,
+                    "flag": self.checkpoints.flag_for(self._flag_key(run, slot)),
+                }
+                for slot in run.slots
+            ]
+        }
+
+    # -- outcome handling ----------------------------------------------------------
+
+    def handle_outcome(self, outcome: AttemptOutcome) -> None:
+        """Feed a detector outcome; ignores jobs we do not own (loops run
+        child coordinators) and stale attempts."""
+        entry = self._job_index.get(outcome.job_id)
+        if entry is None:
+            return
+        activity_name, slot_index = entry
+        run = self._runs.get(activity_name)
+        if run is None or run.resolved:
+            return
+        slot = run.slots[slot_index]
+        if slot.active_job != outcome.job_id:
+            return  # stale message from a superseded attempt
+
+        if outcome.state is TaskState.ACTIVE:
+            return  # informational
+
+        self._job_index.pop(outcome.job_id, None)
+        slot.active_job = None
+        if slot.timeout_timer is not None:
+            slot.timeout_timer.cancel()
+            slot.timeout_timer = None
+
+        # Remember any checkpoint the attempt reported before ending.
+        if outcome.checkpoint_flag:
+            self.checkpoints.record(
+                self._flag_key(run, slot),
+                outcome.checkpoint_flag,
+                at=self._reactor.now(),
+            )
+
+        if outcome.state is TaskState.DONE:
+            self._resolve_done(run, outcome)
+        elif outcome.state is TaskState.EXCEPTION:
+            if run.activity.policy.retry_on_exception:
+                # Deliberately mask the task-specific failure like a generic
+                # crash (the configuration Figure 13 shows to be costly).
+                self._handle_crash(run, slot, exception=outcome.exception)
+            else:
+                self._resolve_exception(run, outcome)
+        elif outcome.state is TaskState.FAILED:
+            self._handle_crash(run, slot)
+        else:  # pragma: no cover - defensive
+            raise RecoveryError(f"unexpected outcome state {outcome.state}")
+
+    # -- cancellation -------------------------------------------------------------------
+
+    def cancel_activity(self, name: str) -> None:
+        """Stop all attempts of *name* without a resolution callback."""
+        run = self._runs.pop(name, None)
+        if run is None:
+            return
+        run.resolved = True
+        self._cancel_slots(run)
+
+    # -- internals ---------------------------------------------------------------------------
+
+    def _flag_key(self, run: ActivityRun, slot: _Slot) -> str:
+        return f"{run.activity.name}@slot{slot.index}"
+
+    def _submit(self, run: ActivityRun, slot: _Slot) -> None:
+        slot.retry_timer = None
+        target: ResolvedOption = self._broker.resolve_index(
+            run.activity, run.program, slot.option_index
+        )
+        flag = None
+        if run.activity.policy.restart_from_checkpoint:
+            flag = self.checkpoints.flag_for(self._flag_key(run, slot))
+        request = SubmitRequest(
+            activity=run.activity.name,
+            executable=target.executable,
+            hostname=target.hostname,
+            service=target.service,
+            directory=target.directory,
+            arguments={p.name: p.value for p in run.activity.inputs},
+            checkpoint_flag=flag,
+        )
+        slot.tries_used += 1
+        job_id = self._service.submit(request)
+        slot.active_job = job_id
+        self._job_index[job_id] = (run.activity.name, slot.index)
+        self._detector.track(job_id, run.activity.name, target.hostname)
+        timeout = run.activity.policy.attempt_timeout
+        if timeout is not None:
+            slot.timeout_timer = self._reactor.call_later(
+                timeout, lambda: self._attempt_timed_out(run, slot, job_id)
+            )
+
+    def _handle_crash(
+        self,
+        run: ActivityRun,
+        slot: _Slot,
+        exception: UserException | None = None,
+    ) -> None:
+        policy = run.activity.policy
+        if policy.tries_remaining(slot.tries_used) > 0:
+            slot.option_index = self._broker.retry_index(
+                run.activity,
+                run.program,
+                failed_index=slot.option_index,
+                tries_used=slot.tries_used,
+            )
+            if policy.interval > 0:
+                slot.retry_timer = self._reactor.call_later(
+                    policy.interval, lambda: self._retry_fire(run, slot)
+                )
+            else:
+                self._retry_fire(run, slot)
+            return
+        slot.exhausted = True
+        if all(s.exhausted for s in run.slots):
+            if exception is not None:
+                # A masked-but-unmaskable exception: report it as what it
+                # was, so workflow-level exception edges can still catch it.
+                run.resolved = True
+                self._cancel_slots(run)
+                self._finish(
+                    run,
+                    TaskResolution(
+                        activity=run.activity.name,
+                        state=TaskState.EXCEPTION,
+                        exception=exception,
+                        tries_used=run.total_tries,
+                    ),
+                )
+            else:
+                self._resolve_failed(run)
+
+    def _retry_fire(self, run: ActivityRun, slot: _Slot) -> None:
+        if run.resolved or slot.exhausted:
+            return
+        self._submit(run, slot)
+
+    def _attempt_timed_out(self, run: ActivityRun, slot: _Slot, job_id: str) -> None:
+        """Performance failure (Section 1's linear-solver deadline): the
+        attempt neither finished nor failed within the policy's
+        ``attempt_timeout`` — kill it and treat it as a task crash."""
+        if run.resolved or slot.active_job != job_id:
+            return  # the attempt resolved while the timer was in flight
+        slot.timeout_timer = None
+        slot.active_job = None
+        self._job_index.pop(job_id, None)
+        self._service.cancel(job_id)
+        self._detector.forget(job_id)
+        self._handle_crash(run, slot)
+
+    def _cancel_slots(self, run: ActivityRun, *, except_slot: int | None = None) -> None:
+        for slot in run.slots:
+            if slot.index == except_slot:
+                continue
+            if slot.retry_timer is not None:
+                slot.retry_timer.cancel()
+                slot.retry_timer = None
+            if slot.timeout_timer is not None:
+                slot.timeout_timer.cancel()
+                slot.timeout_timer = None
+            if slot.active_job is not None:
+                self._service.cancel(slot.active_job)
+                self._detector.forget(slot.active_job)
+                self._job_index.pop(slot.active_job, None)
+                slot.active_job = None
+
+    def _resolve_done(self, run: ActivityRun, outcome: AttemptOutcome) -> None:
+        run.resolved = True
+        self._cancel_slots(run)
+        for slot in run.slots:
+            self.checkpoints.clear(self._flag_key(run, slot))
+        self._finish(
+            run,
+            TaskResolution(
+                activity=run.activity.name,
+                state=TaskState.DONE,
+                result=outcome.result,
+                tries_used=run.total_tries,
+            ),
+        )
+
+    def _resolve_exception(self, run: ActivityRun, outcome: AttemptOutcome) -> None:
+        run.resolved = True
+        self._cancel_slots(run)
+        self._finish(
+            run,
+            TaskResolution(
+                activity=run.activity.name,
+                state=TaskState.EXCEPTION,
+                exception=outcome.exception,
+                tries_used=run.total_tries,
+            ),
+        )
+
+    def _resolve_failed(self, run: ActivityRun) -> None:
+        run.resolved = True
+        self._cancel_slots(run)
+        self._finish(
+            run,
+            TaskResolution(
+                activity=run.activity.name,
+                state=TaskState.FAILED,
+                tries_used=run.total_tries,
+            ),
+        )
+
+    def _finish(self, run: ActivityRun, resolution: TaskResolution) -> None:
+        self._runs.pop(run.activity.name, None)
+        self._on_resolution(resolution)
+
+    # -- queries ----------------------------------------------------------------------------
+
+    def running_activities(self) -> list[str]:
+        return sorted(self._runs)
+
+    def tries_used(self, name: str) -> int:
+        run = self._runs.get(name)
+        return run.total_tries if run else 0

@@ -1,0 +1,131 @@
+"""A small synchronous publish/subscribe event bus.
+
+Grid-WFS components are wired together with events rather than direct calls:
+the simulated Grid publishes heartbeat and notification messages, the failure
+detection service consumes them and publishes task-state changes, and the
+engine consumes those to drive navigation and recovery.  Keeping the bus
+synchronous and single-threaded (per reactor) preserves determinism inside
+the discrete-event simulation.
+
+Topics are plain strings.  Subscribers receive the published payload object.
+Hierarchical matching is supported with a trailing ``*`` wildcard, e.g. a
+subscription to ``"task.*"`` receives ``"task.done"`` and ``"task.failed"``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["EventBus", "Subscription", "EventRecord"]
+
+Handler = Callable[[str, Any], None]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`, used to unsubscribe."""
+
+    pattern: str
+    handler: Handler
+    token: int
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One published event, as retained by :meth:`EventBus.enable_history`."""
+
+    seq: int
+    topic: str
+    payload: Any
+
+
+@dataclass
+class _PatternEntry:
+    pattern: str
+    handlers: dict[int, Handler] = field(default_factory=dict)
+
+
+class EventBus:
+    """Synchronous topic-based pub/sub with wildcard patterns.
+
+    Publishing invokes matching handlers immediately, in subscription order.
+    Handlers may themselves publish; recursive publishes are delivered
+    depth-first.  Handlers may unsubscribe themselves (or others) during
+    delivery: delivery iterates over a snapshot of the handler list.
+    """
+
+    def __init__(self) -> None:
+        self._exact: dict[str, dict[int, Handler]] = defaultdict(dict)
+        self._patterns: list[_PatternEntry] = []
+        self._next_token = 0
+        self._history: list[EventRecord] | None = None
+        self._seq = 0
+
+    # -- subscription ------------------------------------------------------
+
+    def subscribe(self, pattern: str, handler: Handler) -> Subscription:
+        """Register *handler* for topics matching *pattern*.
+
+        Patterns without glob metacharacters are matched exactly (fast path);
+        patterns containing ``*``, ``?`` or ``[`` use :mod:`fnmatch` rules.
+        """
+        token = self._next_token
+        self._next_token += 1
+        if any(ch in pattern for ch in "*?["):
+            for entry in self._patterns:
+                if entry.pattern == pattern:
+                    entry.handlers[token] = handler
+                    break
+            else:
+                self._patterns.append(
+                    _PatternEntry(pattern=pattern, handlers={token: handler})
+                )
+        else:
+            self._exact[pattern][token] = handler
+        return Subscription(pattern=pattern, handler=handler, token=token)
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove a previously registered subscription.  Idempotent."""
+        self._exact.get(sub.pattern, {}).pop(sub.token, None)
+        for entry in self._patterns:
+            if entry.pattern == sub.pattern:
+                entry.handlers.pop(sub.token, None)
+
+    # -- publication -------------------------------------------------------
+
+    def publish(self, topic: str, payload: Any = None) -> int:
+        """Publish *payload* on *topic*; returns number of handlers invoked."""
+        if self._history is not None:
+            self._history.append(
+                EventRecord(seq=self._seq, topic=topic, payload=payload)
+            )
+        self._seq += 1
+        delivered = 0
+        for handler in list(self._exact.get(topic, {}).values()):
+            handler(topic, payload)
+            delivered += 1
+        for entry in self._patterns:
+            if fnmatch.fnmatchcase(topic, entry.pattern):
+                for handler in list(entry.handlers.values()):
+                    handler(topic, payload)
+                    delivered += 1
+        return delivered
+
+    # -- diagnostics -------------------------------------------------------
+
+    def enable_history(self) -> None:
+        """Start retaining every published event (for tests/diagnostics)."""
+        if self._history is None:
+            self._history = []
+
+    @property
+    def history(self) -> list[EventRecord]:
+        """Events recorded since :meth:`enable_history`; empty if disabled."""
+        return list(self._history or [])
+
+    def clear_history(self) -> None:
+        if self._history is not None:
+            self._history.clear()

@@ -1,0 +1,86 @@
+"""Execution-service interface between the engine and the Grid substrate.
+
+The paper's engine submits tasks "to appropriate Grid resources via the
+Globus GRAM protocol" and learns their fate through the generic failure
+detection service.  We capture that contract in one small interface so the
+same engine runs against:
+
+* :class:`repro.grid.simgrid.SimulatedGrid` — the discrete-event simulated
+  Grid used by the evaluation, and
+* :class:`repro.engine.executors.LocalExecutor` — a thread-pool executor
+  that runs real Python callables in wall-clock time.
+
+The interface is intentionally one-way: ``submit`` / ``cancel`` go down, and
+all status comes back asynchronously as detection-service messages delivered
+to the sink registered with :meth:`ExecutionService.connect` (normally
+:meth:`repro.detection.detector.FailureDetector.deliver`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .detection.messages import Message
+
+__all__ = ["SubmitRequest", "ExecutionService"]
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One task-attempt submission (the GRAM job request analogue).
+
+    Attributes
+    ----------
+    activity:
+        Workflow activity name this attempt executes (for bookkeeping).
+    executable:
+        Logical executable name; resolved against the host's installed
+        software (simulation) or the software catalog (local execution).
+    hostname / service / directory:
+        Target resource coordinates, straight from the WPDL ``<Option>``
+        element (``hostname= service= executableDir=``).
+    arguments:
+        Task arguments (the WPDL ``<Input>`` bindings).
+    checkpoint_flag:
+        Checkpoint flag from a previous attempt; non-None requests a
+        restart from saved state rather than from the beginning.
+    queue_when_down:
+        When True and the target host is down, hold the request in the
+        host's queue and start it upon recovery (batch-queue semantics,
+        and the behaviour the paper's downtime model assumes: after a
+        failure the task "is up again" after downtime D).  When False a
+        submission to a down host is rejected immediately.
+    """
+
+    activity: str
+    executable: str
+    hostname: str
+    service: str = "jobmanager"
+    directory: str = ""
+    arguments: dict[str, Any] = field(default_factory=dict)
+    checkpoint_flag: str | None = None
+    queue_when_down: bool = True
+
+
+class ExecutionService(ABC):
+    """Submit/cancel interface plus the asynchronous message channel."""
+
+    @abstractmethod
+    def submit(self, request: SubmitRequest) -> str:
+        """Submit an attempt; returns the service-assigned job id.
+
+        Submission itself never raises for runtime conditions (host down
+        with ``queue_when_down=False``, unknown executable): those surface
+        asynchronously as a failed attempt, exactly like a GRAM callback.
+        Programming errors (unknown hostname) do raise.
+        """
+
+    @abstractmethod
+    def cancel(self, job_id: str) -> None:
+        """Best-effort cancellation (used to reap losing replicas)."""
+
+    @abstractmethod
+    def connect(self, sink: Callable[[Message], None]) -> None:
+        """Register the client-side message sink (the failure detector)."""

@@ -1,0 +1,104 @@
+"""Scripted failure injectors.
+
+The hosts' stochastic crash/repair lifecycle (Poisson failures, exponential
+downtime) lives in :class:`repro.grid.host.Host`.  This module adds
+*deterministic* injectors for tests, examples and failure-injection suites:
+crash a named host at a known virtual time, partition it from the client for
+a window, or run a scripted schedule of such events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..errors import GridError
+from .host import Host
+from .network import Network
+from .simkernel import SimKernel
+
+__all__ = ["FailureEvent", "FailureScript", "inject_crash", "inject_partition"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scripted event: crash/recover or partition/heal a host at a time."""
+
+    at: float
+    hostname: str
+    kind: Literal["crash", "recover", "partition", "heal"]
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise GridError(f"event time must be >= 0, got {self.at!r}")
+        if self.kind not in {"crash", "recover", "partition", "heal"}:
+            raise GridError(f"unknown failure event kind: {self.kind!r}")
+
+
+class FailureScript:
+    """Schedules a list of :class:`FailureEvent` on the simulation kernel.
+
+    >>> script = FailureScript([FailureEvent(10.0, "bolas.isi.edu", "crash"),
+    ...                         FailureEvent(40.0, "bolas.isi.edu", "recover")])
+    ...                                                     # doctest: +SKIP
+    """
+
+    def __init__(self, events: list[FailureEvent]) -> None:
+        self.events = sorted(events, key=lambda e: e.at)
+        self.fired: list[FailureEvent] = []
+
+    def arm(self, kernel: SimKernel, hosts: dict[str, Host], network: Network) -> None:
+        """Schedule every event relative to the current virtual time.
+
+        A crash whose host has a later scripted ``recover`` suppresses the
+        host's own downtime draw, so the scripted recovery controls the
+        outage length exactly.
+        """
+        for event in self.events:
+            host = hosts.get(event.hostname)
+            if host is None:
+                raise GridError(f"failure script names unknown host {event.hostname!r}")
+            scripted_recovery = event.kind == "crash" and any(
+                e.kind == "recover" and e.hostname == event.hostname and e.at > event.at
+                for e in self.events
+            )
+            kernel.schedule(
+                event.at, self._make_action(event, host, network, scripted_recovery)
+            )
+
+    def _make_action(
+        self, event: FailureEvent, host: Host, network: Network,
+        scripted_recovery: bool = False,
+    ):
+        def action() -> None:
+            if event.kind == "crash":
+                host.crash(schedule_recovery=not scripted_recovery)
+            elif event.kind == "recover":
+                host.recover()
+            elif event.kind == "partition":
+                network.partition(event.hostname)
+            else:
+                network.heal(event.hostname)
+            self.fired.append(event)
+
+        return action
+
+
+def inject_crash(
+    kernel: SimKernel, host: Host, *, at: float, duration: float | None = None
+) -> None:
+    """Crash *host* at virtual time offset *at*; optionally force recovery
+    after *duration* (otherwise the host's own downtime draw applies)."""
+    if duration is None:
+        kernel.schedule(at, host.crash)
+    else:
+        kernel.schedule(at, lambda: host.crash(schedule_recovery=False))
+        kernel.schedule(at + duration, host.recover)
+
+
+def inject_partition(
+    kernel: SimKernel, network: Network, hostname: str, *, at: float, duration: float
+) -> None:
+    """Partition *hostname* from the client for ``[at, at+duration)``."""
+    kernel.schedule(at, lambda: network.partition(hostname))
+    kernel.schedule(at + duration, lambda: network.heal(hostname))

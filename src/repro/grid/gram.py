@@ -1,0 +1,340 @@
+"""GRAM-style job submission service for the simulated Grid.
+
+Plays the role of Globus GRAM in the paper's prototype: the engine submits a
+:class:`repro.execution.SubmitRequest` naming a host, service and
+executable; the service instantiates a :class:`JobProcess` that executes the
+behaviour's planned timeline on the target host, emitting detection-service
+messages through the network as it goes.
+
+Crash observability is configurable (``GramConfig.crash_detection``):
+
+* ``"prompt"`` — when a host crashes, the client's GRAM connection breaks
+  and a synthetic ``Done(host_crashed=True)`` is delivered immediately.
+  This gives zero failure-detection latency, matching the paper's
+  analytical/simulation model (which charges no detection delay).
+* ``"heartbeat"`` — nothing is synthesised; the failure is noticed only
+  when the heartbeat monitor times out.  This is the realistic path and is
+  exercised by the detector tests and the heartbeat ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..ckpt.store import CheckpointStore
+from ..core.exceptions import UserException
+from ..detection.messages import CheckpointNotice, Done, ExceptionNotice, TaskEnd, TaskStart
+from ..errors import CheckpointError, GridError, UnknownExecutableError
+from ..execution import SubmitRequest
+from .behaviors import PlanContext, Step
+from .host import Host
+from .network import Network
+from .random import RandomStreams
+from .simkernel import EventHandle, SimKernel
+
+__all__ = ["GramConfig", "GramService", "JobProcess"]
+
+
+@dataclass(frozen=True)
+class GramConfig:
+    """Submission-service configuration."""
+
+    #: "prompt" (synthetic Done on host crash) or "heartbeat" (silence).
+    crash_detection: str = "prompt"
+
+    def __post_init__(self) -> None:
+        if self.crash_detection not in {"prompt", "heartbeat"}:
+            raise GridError(
+                f"crash_detection must be 'prompt' or 'heartbeat', "
+                f"got {self.crash_detection!r}"
+            )
+
+
+@dataclass
+class JobRecord:
+    """Service-side record of one submission (for queries and stats)."""
+
+    job_id: str
+    request: SubmitRequest
+    attempt: int
+    status: str = "submitted"  # submitted|queued|running|finished|cancelled
+
+
+class JobProcess:
+    """One attempt executing on a host: schedules the behaviour's steps.
+
+    The process emits messages *from the host*, so they are subject to the
+    network's partitions and latency.  Terminal steps clean the process off
+    the host; a host crash aborts all pending steps.
+    """
+
+    def __init__(
+        self,
+        service: "GramService",
+        job_id: str,
+        request: SubmitRequest,
+        host: Host,
+        attempt: int,
+    ) -> None:
+        self.service = service
+        self.job_id = job_id
+        self.request = request
+        self.host = host
+        self.attempt = attempt
+        self._handles: list[EventHandle] = []
+        self._finished = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self) -> None:
+        """Plan the behaviour and schedule its steps (host is UP)."""
+        record = self.service.job(self.job_id)
+        if record is not None and record.status in {"submitted", "queued"}:
+            record.status = "running"
+        kernel = self.service.kernel
+        behavior = self.host.resolve(self.request.executable)
+        checkpoint_state: dict[str, Any] | None = None
+        if self.request.checkpoint_flag:
+            try:
+                checkpoint_state = self.service.store.load(self.request.checkpoint_flag)
+            except CheckpointError:
+                checkpoint_state = None  # lost checkpoint: cold start
+        ctx = PlanContext(
+            activity=self.request.activity,
+            job_id=self.job_id,
+            host=self.host.spec,
+            attempt=self.attempt,
+            streams=self.service.streams,
+            checkpoint_state=checkpoint_state,
+        )
+        for step in behavior.plan(ctx):
+            scaled = step.offset / self.host.spec.speed
+            self._handles.append(
+                kernel.schedule(scaled, lambda s=step: self._execute(s))
+            )
+
+    def abort(self) -> None:
+        """Silently stop (cancellation): no further messages."""
+        self._finished = True
+        for handle in self._handles:
+            handle.cancel()
+
+    def host_crashed(self) -> None:
+        """Host died under us: stop, and surface the loss per the crash
+        detection mode.
+
+        ``prompt``: the client's GRAM connection breaks immediately — a
+        synthetic local ``Done(host_crashed=True)``.
+
+        ``heartbeat``: nothing crosses the network while the host is down
+        (the client can only see heartbeat silence).  When the host comes
+        back up, its restarted job manager notices the orphaned job and
+        reports it — matching real middleware, and necessary so that an
+        outage *shorter than the heartbeat timeout* still surfaces the
+        lost job instead of wedging the workflow.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        for handle in self._handles:
+            handle.cancel()
+        if self.service.config.crash_detection == "prompt":
+            self.service.network.send_system(
+                Done(
+                    sent_at=self.service.kernel.now(),
+                    job_id=self.job_id,
+                    hostname=self.host.hostname,
+                    exit_code=137,
+                    host_crashed=True,
+                )
+            )
+        else:
+            reported = {"done": False}
+
+            def report_orphan(host: Host) -> None:
+                if reported["done"]:
+                    return
+                reported["done"] = True
+                self.service.network.send(
+                    host.hostname,
+                    Done(
+                        sent_at=self.service.kernel.now(),
+                        job_id=self.job_id,
+                        hostname=host.hostname,
+                        exit_code=137,
+                        host_crashed=True,
+                    ),
+                )
+
+            self.host.on_recover(report_orphan)
+        self.service._job_finished(self.job_id, "finished")
+
+    # -- step execution ----------------------------------------------------------
+
+    def _execute(self, step: Step) -> None:
+        if self._finished:
+            return
+        now = self.service.kernel.now()
+        send = lambda msg: self.service.network.send(self.host.hostname, msg)  # noqa: E731
+        if step.action == "start":
+            send(TaskStart(sent_at=now, job_id=self.job_id, hostname=self.host.hostname))
+        elif step.action == "checkpoint":
+            flag = f"{self.request.activity}#{self.job_id}@{step.offset:g}"
+            self.service.store.save(flag, dict(step.payload.get("state", {})))
+            send(
+                CheckpointNotice(
+                    sent_at=now,
+                    job_id=self.job_id,
+                    hostname=self.host.hostname,
+                    flag=flag,
+                    progress=float(step.payload.get("progress", 0.0)),
+                )
+            )
+        elif step.action == "exception":
+            exc = step.payload.get("exception")
+            if not isinstance(exc, UserException):  # pragma: no cover - defensive
+                exc = UserException("unknown")
+            send(
+                ExceptionNotice(
+                    sent_at=now,
+                    job_id=self.job_id,
+                    hostname=self.host.hostname,
+                    exception=exc,
+                )
+            )
+            self._terminate(exit_code=1)
+        elif step.action == "crash":
+            self._terminate(exit_code=139)
+        elif step.action == "end":
+            send(
+                TaskEnd(
+                    sent_at=now,
+                    job_id=self.job_id,
+                    hostname=self.host.hostname,
+                    result=step.payload.get("result"),
+                )
+            )
+            self._terminate(exit_code=0)
+
+    def _terminate(self, *, exit_code: int) -> None:
+        self._finished = True
+        for handle in self._handles:
+            handle.cancel()
+        self.host.job_finished(self.job_id)
+        self.service.network.send(
+            self.host.hostname,
+            Done(
+                sent_at=self.service.kernel.now(),
+                job_id=self.job_id,
+                hostname=self.host.hostname,
+                exit_code=exit_code,
+            ),
+        )
+        self.service._job_finished(self.job_id, "finished")
+
+
+class GramService:
+    """Client-facing submission service over a set of simulated hosts."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        network: Network,
+        hosts: dict[str, Host],
+        streams: RandomStreams,
+        store: CheckpointStore,
+        config: GramConfig | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.hosts = hosts
+        self.streams = streams
+        self.store = store
+        self.config = config or GramConfig()
+        self._jobs: dict[str, JobRecord] = {}
+        self._processes: dict[str, JobProcess] = {}
+        self._attempt_counters: dict[str, int] = {}
+        self._seq = itertools.count(1)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: SubmitRequest) -> str:
+        """Submit an attempt; failures surface asynchronously as messages.
+
+        An unknown *hostname* is a configuration error and raises; a down
+        host or missing executable behaves like the corresponding GRAM
+        failure callback.
+        """
+        host = self.hosts.get(request.hostname)
+        if host is None:
+            raise GridError(f"unknown host: {request.hostname!r}")
+        job_id = f"job-{next(self._seq):06d}"
+        attempt = self._attempt_counters.get(request.activity, 0) + 1
+        self._attempt_counters[request.activity] = attempt
+        record = JobRecord(job_id=job_id, request=request, attempt=attempt)
+        self._jobs[job_id] = record
+        try:
+            host.resolve(request.executable)
+        except UnknownExecutableError:
+            record.status = "finished"
+            self._reject(job_id, request, exit_code=127)
+            return job_id
+        process = JobProcess(self, job_id, request, host, attempt)
+        self._processes[job_id] = process
+        if host.up:
+            record.status = "running"
+            host.start_job(process)
+        elif request.queue_when_down:
+            record.status = "queued"
+            host.queue_job(process)
+        else:
+            record.status = "finished"
+            self._processes.pop(job_id, None)
+            self._reject(job_id, request, exit_code=75)  # EX_TEMPFAIL
+        return job_id
+
+    def _reject(self, job_id: str, request: SubmitRequest, *, exit_code: int) -> None:
+        """Asynchronous submission failure: Done without TaskStart/TaskEnd."""
+        self.network.send_system(
+            Done(
+                sent_at=self.kernel.now(),
+                job_id=job_id,
+                hostname=request.hostname,
+                exit_code=exit_code,
+            )
+        )
+
+    # -- cancellation -------------------------------------------------------------
+
+    def cancel(self, job_id: str) -> None:
+        """Silently stop a job (no Done is emitted).  Idempotent."""
+        record = self._jobs.get(job_id)
+        if record is None or record.status in {"finished", "cancelled"}:
+            return
+        record.status = "cancelled"
+        process = self._processes.pop(job_id, None)
+        if process is not None:
+            process.host.cancel_job(job_id)
+            process.abort()
+
+    # -- internal -------------------------------------------------------------------
+
+    def _job_finished(self, job_id: str, status: str) -> None:
+        record = self._jobs.get(job_id)
+        if record is not None and record.status != "cancelled":
+            record.status = status
+        self._processes.pop(job_id, None)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def job(self, job_id: str) -> JobRecord | None:
+        return self._jobs.get(job_id)
+
+    def jobs_for_activity(self, activity: str) -> list[JobRecord]:
+        return [r for r in self._jobs.values() if r.request.activity == activity]
+
+    @property
+    def submitted_count(self) -> int:
+        return len(self._jobs)

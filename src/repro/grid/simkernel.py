@@ -1,0 +1,252 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate that replaces the paper's real Grid deployment: hosts,
+networks, jobs, heartbeats and the workflow engine itself all schedule
+callbacks on a single virtual clock.  Events at equal times fire in FIFO
+scheduling order, which — combined with seeded RNG streams
+(:mod:`repro.grid.random`) — makes every simulation run exactly
+reproducible.
+
+The kernel is deliberately minimal: a priority queue of ``(time, seq)``
+ordered events.  Higher-level process patterns (periodic heartbeats,
+alternating up/down host lifecycles) are built on top of it in
+:mod:`repro.grid.host` and friends.
+
+:class:`SimReactor` adapts the kernel to the :class:`repro.reactor.Reactor`
+interface so the workflow engine can run unmodified inside the simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..reactor import Reactor, TimerHandle, _Timer
+
+__all__ = ["SimKernel", "SimReactor", "PeriodicTask"]
+
+
+@dataclass(order=True)
+class _Event:
+    when: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellation handle for a scheduled simulation event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when(self) -> float:
+        return self._event.when
+
+
+class SimKernel:
+    """Virtual-time event loop.
+
+    >>> k = SimKernel()
+    >>> fired = []
+    >>> _ = k.schedule(5.0, lambda: fired.append(k.now()))
+    >>> k.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far (diagnostics)."""
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay!r})")
+        event = _Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* at absolute virtual time *when* (>= now)."""
+        return self.schedule(when - self._now, callback)
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the single next event.  Returns ``False`` when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.when
+            event.callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, *, max_events: int | None = None) -> int:
+        """Run until the event queue drains.
+
+        *max_events* guards against runaway simulations (periodic processes
+        that never stop); when exceeded a ``RuntimeError`` is raised.
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self.step():
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded max_events={max_events} "
+                    f"(virtual time {self._now:.3f})"
+                )
+        return processed
+
+    def run_until(self, when: float) -> int:
+        """Run events with timestamps ``<= when``; advance the clock to *when*.
+
+        Events scheduled exactly at *when* do fire.  Returns the number of
+        events processed.
+        """
+        processed = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.when > when:
+                break
+            self.step()
+            processed += 1
+        self._now = max(self._now, when)
+        return processed
+
+
+class PeriodicTask:
+    """A repeating simulation callback (heartbeats, monitors).
+
+    The callback runs every *period* seconds starting ``start_delay`` from
+    creation, until :meth:`stop` is called.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        start_delay: float | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self._kernel = kernel
+        self._period = period
+        self._callback = callback
+        self._stopped = False
+        self._handle = kernel.schedule(
+            period if start_delay is None else start_delay, self._tick
+        )
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._handle = self._kernel.schedule(self._period, self._tick)
+
+    def stop(self) -> None:
+        """Cancel the task; the callback will not run again."""
+        self._stopped = True
+        self._handle.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class _SimTimerHandle(TimerHandle):
+    """Timer handle whose cancellation also cancels the kernel event."""
+
+    __slots__ = ("_event_handle",)
+
+    def __init__(self, timer: _Timer, event_handle: EventHandle) -> None:
+        super().__init__(timer)
+        self._event_handle = event_handle
+
+    def cancel(self) -> None:
+        super().cancel()
+        self._event_handle.cancel()
+
+
+class SimReactor(Reactor):
+    """Adapt a :class:`SimKernel` to the engine's :class:`Reactor` interface.
+
+    ``post`` degenerates to a zero-delay timer: inside the simulation there
+    is exactly one thread, so no locking is needed.
+    """
+
+    def __init__(self, kernel: SimKernel | None = None) -> None:
+        self.kernel = kernel if kernel is not None else SimKernel()
+
+    def now(self) -> float:
+        return self.kernel.now()
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        handle = self.kernel.schedule(delay, callback)
+        # Wrap the kernel event in the reactor's TimerHandle type so engine
+        # code can treat both reactors uniformly.
+        return _SimTimerHandle(_Timer(handle.when, 0, callback), handle)
+
+    def post(self, callback: Callable[[], None]) -> None:
+        self.kernel.schedule(0.0, callback)
+
+    def run_until_idle(self, timeout: float | None = None) -> None:
+        if timeout is None:
+            self.kernel.run()
+        else:
+            self.kernel.run_until(self.kernel.now() + timeout)
+
+    def run_until_complete(self, is_done, timeout: float | None = None) -> bool:
+        """Exact steppable loop: process events one at a time until the
+        predicate holds, the queue drains, or virtual *timeout* elapses."""
+        deadline = None if timeout is None else self.kernel.now() + timeout
+        while not is_done():
+            if deadline is not None and self.kernel.now() >= deadline:
+                break
+            if not self.kernel.step():
+                break
+        return bool(is_done())
+
+    def _has_work(self) -> bool:
+        return self.kernel.pending() > 0

@@ -1,0 +1,177 @@
+"""Declarative simulated-Grid descriptions (JSON) for the CLI.
+
+The paper's engine is "a standalone application": it reads a workflow file
+and talks to real Grid resources.  Our standalone engine instead needs a
+description of the *simulated* Grid to run against; this module defines a
+small JSON schema for it and builds a :class:`~repro.grid.SimulatedGrid`:
+
+.. code-block:: json
+
+    {
+      "seed": 42,
+      "config": {"crash_detection": "prompt", "heartbeats": true},
+      "hosts": [
+        {"hostname": "bolas.isi.edu", "mttf": 90.0, "mean_downtime": 10.0,
+         "speed": 1.0, "disk_gb": 100, "memory_gb": 8, "tags": ["volunteer"]},
+        {"hostname": "archive", "reliable": true}
+      ],
+      "software": [
+        {"hostname": "*", "executable": "sum",
+         "behavior": {"type": "fixed", "duration": 30.0, "result": 42}},
+        {"hostname": "bolas.isi.edu", "executable": "sim",
+         "behavior": {"type": "checkpointing", "duration": 120.0,
+                      "checkpoints": 20, "overhead": 0.5, "recovery_time": 0.5}}
+      ]
+    }
+
+Behaviour types map to :mod:`repro.grid.behaviors`:
+``fixed``, ``checkpointing``, ``exception_prone``, ``crashing``, ``flaky``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from .errors import GridError
+from .grid.behaviors import (
+    CheckpointingTask,
+    CrashingTask,
+    ExceptionProneTask,
+    FixedDurationTask,
+    FlakyTask,
+    TaskBehavior,
+)
+from .grid.resource import ResourceSpec
+from .grid.simgrid import GridConfig, SimulatedGrid
+
+__all__ = ["load_gridspec", "build_grid", "behavior_from_spec"]
+
+
+def behavior_from_spec(spec: dict[str, Any]) -> TaskBehavior:
+    """Instantiate a task behaviour from its JSON description."""
+    spec = dict(spec)
+    kind = spec.pop("type", None)
+    try:
+        if kind == "fixed":
+            return FixedDurationTask(
+                duration=float(spec.pop("duration")),
+                result=spec.pop("result", None),
+            )
+        if kind == "checkpointing":
+            return CheckpointingTask(
+                duration=float(spec.pop("duration")),
+                checkpoints=int(spec.pop("checkpoints")),
+                overhead=float(spec.pop("overhead", 0.5)),
+                recovery_time=float(spec.pop("recovery_time", 0.5)),
+                result=spec.pop("result", None),
+            )
+        if kind == "exception_prone":
+            return ExceptionProneTask(
+                duration=float(spec.pop("duration")),
+                checks=int(spec.pop("checks")),
+                probability=float(spec.pop("probability")),
+                exception_name=str(spec.pop("exception_name", "disk_full")),
+                checkpointable=bool(spec.pop("checkpointable", False)),
+                result=spec.pop("result", None),
+            )
+        if kind == "crashing":
+            crashes = spec.pop("crashes", 1)
+            return CrashingTask(
+                duration=float(spec.pop("duration")),
+                crash_at=float(spec.pop("crash_at")),
+                crashes=None if crashes is None else int(crashes),
+                result=spec.pop("result", None),
+            )
+        if kind == "flaky":
+            return FlakyTask(
+                duration=float(spec.pop("duration")),
+                crash_probability=float(spec.pop("crash_probability")),
+                result=spec.pop("result", None),
+            )
+    except KeyError as exc:
+        raise GridError(
+            f"behavior type {kind!r} is missing required field {exc}"
+        ) from exc
+    except (TypeError, ValueError) as exc:
+        raise GridError(f"invalid behavior spec for type {kind!r}: {exc}") from exc
+    raise GridError(
+        f"unknown behavior type {kind!r} (expected fixed/checkpointing/"
+        "exception_prone/crashing/flaky)"
+    )
+
+
+def _host_from_spec(spec: dict[str, Any]) -> ResourceSpec:
+    spec = dict(spec)
+    hostname = spec.pop("hostname", "")
+    if not hostname:
+        raise GridError("host spec requires a hostname")
+    reliable = spec.pop("reliable", False)
+    mttf = spec.pop("mttf", None)
+    if reliable and mttf is not None:
+        raise GridError(f"host {hostname!r}: reliable and mttf are exclusive")
+    try:
+        return ResourceSpec(
+            hostname=hostname,
+            service=str(spec.pop("service", "jobmanager")),
+            speed=float(spec.pop("speed", 1.0)),
+            disk_gb=float(spec.pop("disk_gb", 100.0)),
+            memory_gb=float(spec.pop("memory_gb", 8.0)),
+            mttf=math.inf if reliable or mttf is None else float(mttf),
+            mean_downtime=float(spec.pop("mean_downtime", 0.0)),
+            heartbeat_period=float(spec.pop("heartbeat_period", 1.0)),
+            slots=(
+                None if spec.get("slots") is None else int(spec.pop("slots"))
+            ),
+            tags=frozenset(spec.pop("tags", [])),
+        )
+    except ValueError as exc:
+        raise GridError(f"invalid host spec for {hostname!r}: {exc}") from exc
+
+
+def build_grid(data: dict[str, Any]) -> SimulatedGrid:
+    """Build a grid from a parsed gridspec dict."""
+    config_data = dict(data.get("config", {}))
+    try:
+        config = GridConfig(
+            crash_detection=config_data.get("crash_detection", "prompt"),
+            network_latency=float(config_data.get("network_latency", 0.0)),
+            network_jitter=float(config_data.get("network_jitter", 0.0)),
+            message_loss=float(config_data.get("message_loss", 0.0)),
+            heartbeats=bool(config_data.get("heartbeats", True)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise GridError(f"invalid grid config: {exc}") from exc
+    grid = SimulatedGrid(seed=int(data.get("seed", 20030623)), config=config)
+    hosts = data.get("hosts", [])
+    if not hosts:
+        raise GridError("gridspec defines no hosts")
+    for host_spec in hosts:
+        grid.add_host(_host_from_spec(host_spec))
+    for software in data.get("software", []):
+        software = dict(software)
+        hostname = software.get("hostname", "*")
+        executable = software.get("executable", "")
+        if not executable:
+            raise GridError("software entry requires an executable name")
+        behavior = behavior_from_spec(software.get("behavior", {}))
+        if hostname == "*":
+            grid.install_everywhere(executable, behavior)
+        else:
+            grid.install(hostname, executable, behavior)
+    return grid
+
+
+def load_gridspec(path: str | Path) -> SimulatedGrid:
+    """Read a gridspec JSON file and build the simulated Grid."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise GridError(f"cannot read gridspec {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise GridError(f"gridspec {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise GridError(f"gridspec {path} must be a JSON object")
+    return build_grid(data)

@@ -1,0 +1,244 @@
+"""Reactor abstraction: one engine, two notions of time.
+
+The paper's prototype runs its workflow engine against real Grid resources in
+wall-clock time; its evaluation runs against a simulator in virtual time.  We
+keep a single engine implementation by programming it against a ``Reactor``
+interface:
+
+* :class:`SimReactor` wraps the discrete-event kernel
+  (:class:`repro.grid.simkernel.SimKernel`) — timers fire in virtual time and
+  a whole experiment with thousands of simulated seconds runs in
+  microseconds.
+* :class:`RealTimeReactor` schedules timers on wall-clock time and is used by
+  the :class:`repro.engine.executors.LocalExecutor` path that executes real
+  Python callables on threads.
+
+Both reactors are *driven* (not threaded): callers pump them with
+:meth:`Reactor.run_until_idle` or :meth:`Reactor.run_for`.  The real-time
+reactor additionally accepts thread-safe wakeups via :meth:`Reactor.post` so
+worker threads can hand results back to the engine thread.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Reactor", "RealTimeReactor", "TimerHandle"]
+
+
+@dataclass(order=True)
+class _Timer:
+    when: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class TimerHandle:
+    """Opaque handle for a scheduled timer; supports cancellation."""
+
+    __slots__ = ("_timer",)
+
+    def __init__(self, timer: _Timer) -> None:
+        self._timer = timer
+
+    def cancel(self) -> None:
+        """Prevent the timer's callback from running.  Idempotent."""
+        self._timer.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._timer.cancelled
+
+    @property
+    def when(self) -> float:
+        """Absolute reactor time at which the timer fires."""
+        return self._timer.when
+
+
+class Reactor(ABC):
+    """Scheduling interface shared by simulated and real-time execution."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current reactor time in seconds."""
+
+    @abstractmethod
+    def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule *callback* to run ``delay`` seconds from :meth:`now`."""
+
+    @abstractmethod
+    def post(self, callback: Callable[[], None]) -> None:
+        """Enqueue *callback* to run as soon as possible (thread-safe where
+        the reactor supports threads)."""
+
+    @abstractmethod
+    def run_until_idle(self, timeout: float | None = None) -> None:
+        """Run pending work until no timers or posted callbacks remain.
+
+        *timeout* bounds the amount of **reactor time** consumed (virtual
+        time for simulation, wall-clock for real time).
+        """
+
+    def call_soon(self, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule *callback* at the current time (after pending events)."""
+        return self.call_later(0.0, callback)
+
+    def run_until_complete(
+        self,
+        is_done: Callable[[], bool],
+        timeout: float | None = None,
+    ) -> bool:
+        """Pump the reactor until ``is_done()`` holds; returns its final
+        value.  Stops early when the reactor goes idle or *timeout* reactor
+        seconds elapse (background periodic work — heartbeats, host failure
+        processes — can keep a reactor busy forever, so completion is the
+        caller's predicate, not queue emptiness).
+
+        The default implementation pumps in bounded slices; subclasses with
+        a steppable core override this with an exact loop.
+        """
+        deadline = None if timeout is None else self.now() + timeout
+        while not is_done():
+            if deadline is not None and self.now() >= deadline:
+                break
+            slice_timeout = 0.05
+            if deadline is not None:
+                slice_timeout = min(slice_timeout, max(0.0, deadline - self.now()))
+            self.run_until_idle(timeout=slice_timeout)
+            if not self._has_work() and not is_done():
+                break  # idle without completion: give up rather than spin
+        return is_done()
+
+    def _has_work(self) -> bool:
+        """Whether timers/callbacks/keepalives remain (subclass hook for
+        :meth:`run_until_complete`'s idle detection)."""
+        return True
+
+
+class RealTimeReactor(Reactor):
+    """Wall-clock reactor for running workflows over the local executor.
+
+    Timers are kept in a heap keyed by ``time.monotonic()``; posted callbacks
+    arrive through a condition-guarded queue so worker threads can wake the
+    reactor.  The loop runs on whichever thread calls
+    :meth:`run_until_idle` — typically the thread that started the engine.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_Timer] = []
+        self._posted: list[Callable[[], None]] = []
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self._origin = time.monotonic()
+        #: Set by :meth:`stop` to abandon :meth:`run_until_idle` early.
+        self._stopped = False
+        #: Number of outstanding "keepalive" tokens.  While positive, the
+        #: reactor considers itself busy even with no timers queued —
+        #: executors hold a token per in-flight job so the loop waits for
+        #: worker threads to post completions.
+        self._keepalives = 0
+
+    # -- Reactor API -------------------------------------------------------
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay!r}")
+        timer = _Timer(self.now() + delay, next(self._seq), callback)
+        with self._cond:
+            heapq.heappush(self._heap, timer)
+            self._cond.notify()
+        return TimerHandle(timer)
+
+    def post(self, callback: Callable[[], None]) -> None:
+        with self._cond:
+            self._posted.append(callback)
+            self._cond.notify()
+
+    def run_until_idle(self, timeout: float | None = None) -> None:
+        deadline = None if timeout is None else self.now() + timeout
+        while True:
+            with self._cond:
+                if self._stopped:
+                    self._stopped = False
+                    return
+                callbacks = self._posted
+                self._posted = []
+            for cb in callbacks:
+                cb()
+            if callbacks:
+                continue  # re-check posted queue before sleeping
+            timer = self._pop_due()
+            if timer is not None:
+                timer.callback()
+                continue
+            with self._cond:
+                if not self._posted and not self._heap and self._keepalives == 0:
+                    return
+                wait = self._next_wait(deadline)
+                if wait is not None and wait <= 0:
+                    if deadline is not None and self.now() >= deadline:
+                        return
+                    continue
+                self._cond.wait(timeout=wait)
+            if deadline is not None and self.now() >= deadline:
+                return
+
+    # -- real-time extras --------------------------------------------------
+
+    def stop(self) -> None:
+        """Make the current (or next) :meth:`run_until_idle` return."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify()
+
+    def acquire_keepalive(self) -> None:
+        with self._cond:
+            self._keepalives += 1
+
+    def release_keepalive(self) -> None:
+        with self._cond:
+            self._keepalives = max(0, self._keepalives - 1)
+            self._cond.notify()
+
+    # -- internals ---------------------------------------------------------
+
+    def _has_work(self) -> bool:
+        with self._cond:
+            live_timers = any(not t.cancelled for t in self._heap)
+            return bool(self._posted) or live_timers or self._keepalives > 0
+
+    def _pop_due(self) -> _Timer | None:
+        now = self.now()
+        with self._cond:
+            while self._heap:
+                if self._heap[0].cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if self._heap[0].when <= now:
+                    return heapq.heappop(self._heap)
+                break
+        return None
+
+    def _next_wait(self, deadline: float | None) -> float | None:
+        """Seconds to sleep before the next interesting moment (caller holds
+        the condition lock)."""
+        candidates: list[float] = []
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            candidates.append(self._heap[0].when - self.now())
+        if deadline is not None:
+            candidates.append(deadline - self.now())
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))

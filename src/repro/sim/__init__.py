@@ -1,0 +1,89 @@
+"""Evaluation simulator: analytical models, vectorised Monte-Carlo samplers,
+the Figure-13 exception model, engine-level cross-validation, and sweep /
+reporting utilities."""
+
+from .analytical import (
+    checkpoint_expected_time,
+    expected_time,
+    optimal_checkpoint_count,
+    retry_expected_time,
+    young_checkpoint_count,
+    young_interval,
+)
+from .engine_mc import build_technique_workflow, engine_samples, run_engine_once
+from .exceptions_model import (
+    EXCEPTION_STRATEGIES,
+    ExceptionExperiment,
+    expected_alternative,
+    expected_checkpointing,
+    expected_retrying,
+    sample_alternative,
+)
+from .exceptions_model import sample_checkpointing as sample_exception_checkpointing
+from .exceptions_model import sample_retrying as sample_exception_retrying
+from .params import (
+    PAPER_BASELINE,
+    PAPER_DOWNTIMES,
+    PAPER_MTTF_SWEEP,
+    SimulationParams,
+)
+from .runner import (
+    TECHNIQUE_LABELS,
+    Series,
+    ascii_chart,
+    crossover,
+    format_table,
+    sweep,
+    sweep_mttf,
+    to_csv,
+)
+from .samplers import (
+    TECHNIQUES,
+    sample_checkpointing,
+    sample_replication,
+    sample_replication_checkpointing,
+    sample_retry,
+    sample_technique,
+)
+from .stats import Summary, relative_error, summarize
+
+__all__ = [
+    "checkpoint_expected_time",
+    "expected_time",
+    "optimal_checkpoint_count",
+    "retry_expected_time",
+    "young_checkpoint_count",
+    "young_interval",
+    "build_technique_workflow",
+    "engine_samples",
+    "run_engine_once",
+    "EXCEPTION_STRATEGIES",
+    "ExceptionExperiment",
+    "expected_alternative",
+    "expected_checkpointing",
+    "expected_retrying",
+    "sample_alternative",
+    "sample_exception_checkpointing",
+    "sample_exception_retrying",
+    "PAPER_BASELINE",
+    "PAPER_DOWNTIMES",
+    "PAPER_MTTF_SWEEP",
+    "SimulationParams",
+    "TECHNIQUE_LABELS",
+    "Series",
+    "ascii_chart",
+    "crossover",
+    "format_table",
+    "sweep",
+    "sweep_mttf",
+    "to_csv",
+    "TECHNIQUES",
+    "sample_checkpointing",
+    "sample_replication",
+    "sample_replication_checkpointing",
+    "sample_retry",
+    "sample_technique",
+    "Summary",
+    "relative_error",
+    "summarize",
+]

@@ -1,0 +1,239 @@
+"""The exception-handling experiment of Figure 13.
+
+Models the DAG of Figure 6: a Fast_Unreliable_Task (FU, duration 30) that
+performs five evenly spaced resource checks (every 6 time units), each
+raising the user-defined ``disk_full`` exception independently with
+probability p (a Bernoulli process); a Slow_Reliable_Task (SR, duration 150)
+that never fails; and a Dummy_Join_Task (DJ, duration 0) with an OR join.
+
+Three recovery configurations are compared, exactly as in the paper:
+
+* **retrying** — FU treats the exception like a maskable crash and restarts
+  from scratch (unbounded tries);
+* **checkpointing** — FU checkpoints after every passed check and restarts
+  from the last checkpoint on an exception (checkpoint overhead 0, per the
+  paper's setup which gives no C for this experiment);
+* **alternative task** — the user-defined exception handler of Figure 6:
+  the first ``disk_full`` abandons FU and launches SR.
+
+Both closed-form expectations and Monte-Carlo samplers are provided; the
+closed forms make the figure's punchlines exact: as p→1 the two masking
+strategies diverge (at p=1 they never finish), while the handler is bounded
+by first-check-time + SR = 6 + 150 = 156.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = [
+    "ExceptionExperiment",
+    "expected_retrying",
+    "expected_checkpointing",
+    "expected_alternative",
+    "sample_retrying",
+    "sample_checkpointing",
+    "sample_alternative",
+    "EXCEPTION_STRATEGIES",
+]
+
+EXCEPTION_STRATEGIES = ("retrying", "checkpointing", "alternative")
+
+
+@dataclass(frozen=True)
+class ExceptionExperiment:
+    """Parameters of the Figure 13 setup."""
+
+    #: FU duration (paper: 30).
+    fast_duration: float = 30.0
+    #: Number of Bernoulli checks during FU (paper: 5, i.e. every 6).
+    checks: int = 5
+    #: SR duration (paper: 150).
+    slow_duration: float = 150.0
+    #: Dummy join duration (paper: 0).
+    join_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fast_duration <= 0 or self.slow_duration <= 0:
+            raise SimulationError("task durations must be positive")
+        if self.checks < 1:
+            raise SimulationError(f"checks must be >= 1, got {self.checks!r}")
+        if self.join_duration < 0:
+            raise SimulationError("join_duration must be >= 0")
+
+    @property
+    def check_interval(self) -> float:
+        return self.fast_duration / self.checks
+
+
+def _check_p(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise SimulationError(f"p must be in [0, 1], got {p!r}")
+
+
+# ---------------------------------------------------------------------------
+# Closed forms
+# ---------------------------------------------------------------------------
+
+
+def expected_retrying(p: float, exp: ExceptionExperiment = ExceptionExperiment()) -> float:
+    """E[T] when FU masks the exception by restarting from scratch.
+
+    A single attempt ends at check i (cost ``i·Δ``) with probability
+    ``(1−p)^{i−1}·p`` or succeeds (cost F) with probability ``q=(1−p)^n``.
+    Attempts repeat until success, so ``E[T] = E[failed-attempt cost]·E[#
+    failures] + F = Σᵢ iΔ(1−p)^{i−1}p / q + F``.  Diverges as p→1.
+    """
+    _check_p(p)
+    n, delta, F = exp.checks, exp.check_interval, exp.fast_duration
+    if p == 0.0:
+        return F + exp.join_duration
+    q = (1.0 - p) ** n
+    if q == 0.0:
+        return math.inf
+    fail_mass = sum(i * delta * (1.0 - p) ** (i - 1) * p for i in range(1, n + 1))
+    return fail_mass / q + F + exp.join_duration
+
+
+def expected_checkpointing(
+    p: float, exp: ExceptionExperiment = ExceptionExperiment()
+) -> float:
+    """E[T] when FU checkpoints after each passed check (zero overhead).
+
+    Each of the n segments repeats independently until its check passes:
+    geometric with success 1−p, each attempt costing Δ, so
+    ``E[T] = n·Δ/(1−p) = F/(1−p)``.  Diverges as p→1 (slower than
+    retrying — the figure's ordering).
+    """
+    _check_p(p)
+    if p == 1.0:
+        return math.inf
+    return exp.fast_duration / (1.0 - p) + exp.join_duration
+
+
+def expected_alternative(
+    p: float, exp: ExceptionExperiment = ExceptionExperiment()
+) -> float:
+    """E[T] with the user-defined exception handler (Figure 6).
+
+    FU runs once; on the first exception (at check i, probability
+    ``(1−p)^{i−1}p``) SR takes over.  Bounded above by Δ + SR.
+    """
+    _check_p(p)
+    n, delta = exp.checks, exp.check_interval
+    q = (1.0 - p) ** n
+    fail_mass = sum(i * delta * (1.0 - p) ** (i - 1) * p for i in range(1, n + 1))
+    fail_prob = 1.0 - q
+    return (
+        fail_mass
+        + fail_prob * exp.slow_duration
+        + q * exp.fast_duration
+        + exp.join_duration
+    )
+
+
+# ---------------------------------------------------------------------------
+# Monte-Carlo samplers (used for cross-validation of the closed forms and of
+# the engine-level runs)
+# ---------------------------------------------------------------------------
+
+
+def _first_failures(
+    rng: np.random.Generator, p: float, runs: int, checks: int
+) -> np.ndarray:
+    """Index (1-based) of the first failed check per run; 0 = all passed."""
+    if p == 0.0:
+        return np.zeros(runs, dtype=int)
+    if p == 1.0:
+        return np.ones(runs, dtype=int)
+    fails = rng.random((runs, checks)) < p
+    any_fail = fails.any(axis=1)
+    first = np.where(any_fail, fails.argmax(axis=1) + 1, 0)
+    return first
+
+
+def sample_retrying(
+    p: float,
+    runs: int = 100_000,
+    *,
+    exp: ExceptionExperiment = ExceptionExperiment(),
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Per-run completion times for the masking-by-retry configuration.
+
+    Sampled exactly in O(runs × checks) time for *any* p < 1: the number of
+    failed attempts before success is geometric with success probability
+    ``q = (1−p)^n``; given that count, the failed attempts' first-failure
+    positions are iid categorical, so their *sum* is determined by a
+    multinomial draw over positions.  (A naive attempt-by-attempt loop is
+    O(1/q) and intractable beyond p ≈ 0.8.)
+    """
+    _check_p(p)
+    if p == 1.0:
+        raise SimulationError("p=1 never completes under retrying")
+    rng = rng if rng is not None else np.random.default_rng(13)
+    delta, F, n = exp.check_interval, exp.fast_duration, exp.checks
+    if p == 0.0:
+        return np.full(runs, F + exp.join_duration)
+    q = (1.0 - p) ** n
+    if q == 0.0:
+        raise SimulationError(
+            f"p={p} underflows the success probability; the run would "
+            "effectively never complete"
+        )
+    # Failed attempts before the first success.
+    n_failures = rng.geometric(q, size=runs) - 1
+    # First-failure position within a failed attempt: categorical over 1..n
+    # with P(i) ∝ (1−p)^{i−1} p.
+    probs = np.array([(1.0 - p) ** (i - 1) * p for i in range(1, n + 1)])
+    probs /= probs.sum()
+    counts = rng.multinomial(n_failures, probs)
+    positions = np.arange(1, n + 1)
+    failed_cost = delta * (counts @ positions)
+    return failed_cost + F + exp.join_duration
+
+
+def sample_checkpointing(
+    p: float,
+    runs: int = 100_000,
+    *,
+    exp: ExceptionExperiment = ExceptionExperiment(),
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Per-run completion times for checkpoint-per-check masking."""
+    _check_p(p)
+    if p == 1.0:
+        raise SimulationError("p=1 never completes under checkpointing")
+    rng = rng if rng is not None else np.random.default_rng(14)
+    delta = exp.check_interval
+    if p == 0.0:
+        return np.full(runs, exp.fast_duration + exp.join_duration)
+    # Each segment: geometric number of Δ-cost attempts until its check
+    # passes; total = Δ · Σ geometric draws.
+    attempts = rng.geometric(1.0 - p, size=(runs, exp.checks)).sum(axis=1)
+    return attempts * delta + exp.join_duration
+
+
+def sample_alternative(
+    p: float,
+    runs: int = 100_000,
+    *,
+    exp: ExceptionExperiment = ExceptionExperiment(),
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Per-run completion times with the exception handler DAG."""
+    _check_p(p)
+    rng = rng if rng is not None else np.random.default_rng(15)
+    delta = exp.check_interval
+    first = _first_failures(rng, p, runs, exp.checks)
+    times = np.where(
+        first == 0,
+        exp.fast_duration,
+        first * delta + exp.slow_duration,
+    )
+    return times + exp.join_duration

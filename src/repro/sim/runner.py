@@ -1,0 +1,234 @@
+"""Experiment runner: parameter sweeps, series, tables and ASCII charts.
+
+The benchmark harness uses this module to regenerate each figure of the
+paper as a printed table plus an ASCII chart, and to check the *shape*
+claims (orderings, crossover locations) programmatically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .params import SimulationParams
+from .samplers import TECHNIQUES, sample_technique
+from .stats import Summary, summarize
+
+__all__ = [
+    "Series",
+    "sweep_mttf",
+    "sweep",
+    "crossover",
+    "format_table",
+    "ascii_chart",
+    "to_csv",
+    "TECHNIQUE_LABELS",
+]
+
+#: Display labels matching the paper's legends (Rt/Ck/Rp/RpCk in Figure 11).
+TECHNIQUE_LABELS = {
+    "retrying": "Retrying",
+    "checkpointing": "Checkpointing",
+    "replication": "Replication",
+    "replication_checkpointing": "Replication w/ checkpointing",
+}
+
+
+@dataclass(frozen=True)
+class Series:
+    """One curve: label plus (x, y) points and per-point summaries."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    summaries: tuple[Summary, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise SimulationError("series x and y lengths differ")
+
+    def value_at(self, x: float) -> float:
+        try:
+            return self.y[self.x.index(x)]
+        except ValueError:
+            raise SimulationError(f"series {self.label!r} has no point x={x}") from None
+
+
+def to_csv(x_label: str, series: Sequence[Series]) -> str:
+    """Render series as CSV (one x column, one column per series, plus a
+    ``<label>_ci`` column for any series carrying summaries) — the
+    machine-readable companion of :func:`format_table`, written next to
+    each benchmark's text artefact so downstream users can re-plot the
+    figures with their own tools."""
+    if not series:
+        raise SimulationError("to_csv requires at least one series")
+    xs = series[0].x
+    for s in series:
+        if s.x != xs:
+            raise SimulationError("all series must share the x grid")
+
+    def clean(label: str) -> str:
+        return label.replace(",", ";")
+
+    header = [x_label] + sum(
+        (
+            [clean(s.label)] + ([f"{clean(s.label)}_ci"] if s.summaries else [])
+            for s in series
+        ),
+        [],
+    )
+    lines = [",".join(header)]
+    for i, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for s in series:
+            row.append(f"{s.y[i]!r}" if math.isfinite(s.y[i]) else "inf")
+            if s.summaries:
+                row.append(f"{s.summaries[i].ci_halfwidth!r}")
+        lines.append(",".join(row))
+    return "\n".join(lines)
+
+
+def sweep(
+    xs: Sequence[float],
+    fn: Callable[[float], np.ndarray],
+    *,
+    label: str,
+) -> Series:
+    """Generic sweep: *fn* maps an x to a sample vector; the series carries
+    sample means plus summaries."""
+    summaries = tuple(summarize(fn(x)) for x in xs)
+    return Series(
+        label=label,
+        x=tuple(float(x) for x in xs),
+        y=tuple(s.mean for s in summaries),
+        summaries=summaries,
+    )
+
+
+def sweep_mttf(
+    params: SimulationParams,
+    mttfs: Sequence[float],
+    techniques: Iterable[str] = TECHNIQUES,
+    *,
+    runs: int | None = None,
+) -> dict[str, Series]:
+    """The paper's standard experiment: E[T] vs MTTF per technique."""
+    out: dict[str, Series] = {}
+    for technique in techniques:
+        out[technique] = sweep(
+            mttfs,
+            lambda m, t=technique: sample_technique(
+                t, params.with_mttf(m), runs=runs
+            ),
+            label=TECHNIQUE_LABELS.get(technique, technique),
+        )
+    return out
+
+
+def crossover(a: Series, b: Series) -> float | None:
+    """First x (linearly interpolated) where series *a* drops to or below
+    *b* — e.g. where replication starts beating retrying as MTTF grows.
+    Returns None when *a* stays above *b* everywhere (or starts below)."""
+    if a.x != b.x:
+        raise SimulationError("crossover requires series on the same x grid")
+    diff = [ya - yb for ya, yb in zip(a.y, b.y)]
+    if not diff or diff[0] <= 0:
+        return None
+    for i in range(1, len(diff)):
+        if diff[i] <= 0:
+            x0, x1 = a.x[i - 1], a.x[i]
+            d0, d1 = diff[i - 1], diff[i]
+            if d0 == d1:
+                return x1
+            return x0 + (x1 - x0) * d0 / (d0 - d1)
+    return None
+
+
+def format_table(
+    x_label: str,
+    series: Sequence[Series],
+    *,
+    precision: int = 2,
+) -> str:
+    """Fixed-width table: one row per x, one column per series."""
+    if not series:
+        raise SimulationError("format_table requires at least one series")
+    xs = series[0].x
+    for s in series:
+        if s.x != xs:
+            raise SimulationError("all series must share the x grid")
+    headers = [x_label] + [s.label for s in series]
+    widths = [max(len(h), 10) for h in headers]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for i, x in enumerate(xs):
+        cells = [f"{x:g}".rjust(widths[0])]
+        for j, s in enumerate(series):
+            value = s.y[i]
+            cell = "inf" if math.isinf(value) else f"{value:.{precision}f}"
+            cells.append(cell.rjust(widths[j + 1]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    *,
+    width: int = 72,
+    height: int = 20,
+    y_cap: float | None = None,
+    title: str = "",
+) -> str:
+    """Plot series as an ASCII scatter chart (one marker per series).
+
+    ``y_cap`` clips the y axis (Figure 13's divergent curves need it).
+    """
+    if not series:
+        raise SimulationError("ascii_chart requires at least one series")
+    markers = "*o+x#@%&"
+    xs_all = [x for s in series for x in s.x]
+    ys_all = [
+        min(y, y_cap) if y_cap is not None else y
+        for s in series
+        for y in s.y
+        if not math.isinf(y) or y_cap is not None
+    ]
+    if not ys_all:
+        raise SimulationError("no finite points to plot")
+    x_min, x_max = min(xs_all), max(xs_all)
+    y_min, y_max = min(ys_all), max(ys_all)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = markers[si % len(markers)]
+        for x, y in zip(s.x, s.y):
+            if math.isinf(y):
+                if y_cap is None:
+                    continue
+                y = y_cap
+            if y_cap is not None:
+                y = min(y, y_cap)
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_min:g}, {y_max:g}]" + (" (capped)" if y_cap else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_min:g}, {x_max:g}]")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Synthetic workflow workload generators.
+
+The paper evaluates single tasks and the Figure-6 DAG; real Grid
+applications are "distributed, heterogeneous multi-task applications".
+This module generates parameterised workflow families for scalability and
+stress testing:
+
+* :func:`chain` — a linear pipeline of n activities;
+* :func:`fork_join` — one split into w parallel branches into one join;
+* :func:`layered_dag` — a random layered DAG (each node depends on 1..k
+  nodes of the previous layer), the classic scientific-workflow shape;
+* :func:`diamond_ladder` — repeated diamonds (split/two-branch/join),
+  exercising alternating parallelism.
+
+Each generator also knows how to provision a :class:`SimulatedGrid` for its
+workflow (``install`` callback), so benchmarks can do
+``wf, setup = chain(100); grid = setup(SimulatedGrid(...))``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .core.policy import FailurePolicy
+from .errors import SpecificationError
+from .grid.behaviors import FixedDurationTask
+from .grid.simgrid import SimulatedGrid
+from .wpdl.builder import WorkflowBuilder
+from .wpdl.model import Workflow
+
+__all__ = ["chain", "fork_join", "layered_dag", "diamond_ladder", "GridSetup"]
+
+GridSetup = Callable[[SimulatedGrid], SimulatedGrid]
+
+
+def _setup(
+    hosts: list[str], executables: dict[str, float]
+) -> GridSetup:
+    """Installer: add reliable hosts and fixed-duration executables."""
+
+    def install(grid: SimulatedGrid) -> SimulatedGrid:
+        from .grid.resource import RELIABLE
+
+        for hostname in hosts:
+            if hostname not in grid.hosts:
+                grid.add_host(RELIABLE(hostname))
+        for executable, duration in executables.items():
+            grid.install_everywhere(executable, FixedDurationTask(duration))
+        return grid
+
+    return install
+
+
+def chain(
+    n: int,
+    *,
+    task_duration: float = 1.0,
+    host: str = "h0",
+    policy: FailurePolicy = FailurePolicy(),
+) -> tuple[Workflow, GridSetup]:
+    """A linear pipeline t000 → t001 → … of *n* activities."""
+    if n < 1:
+        raise SpecificationError(f"chain needs n >= 1, got {n}")
+    builder = WorkflowBuilder(f"chain-{n}").program("step", hosts=[host])
+    names = [f"t{i:04d}" for i in range(n)]
+    for name in names:
+        builder.activity(name, implement="step", policy=policy)
+    builder.sequence(*names)
+    return builder.build(), _setup([host], {"step": task_duration})
+
+
+def fork_join(
+    width: int,
+    *,
+    task_duration: float = 1.0,
+    hosts: int = 4,
+    policy: FailurePolicy = FailurePolicy(),
+) -> tuple[Workflow, GridSetup]:
+    """split → *width* parallel branches → join (AND)."""
+    if width < 1:
+        raise SpecificationError(f"fork_join needs width >= 1, got {width}")
+    host_names = [f"h{i}" for i in range(max(1, hosts))]
+    builder = WorkflowBuilder(f"forkjoin-{width}")
+    builder.program("work", hosts=host_names)
+    builder.dummy("split")
+    branch_names = [f"b{i:04d}" for i in range(width)]
+    for i, name in enumerate(branch_names):
+        builder.activity(name, implement="work", policy=policy)
+    builder.dummy("join")
+    builder.fan_out("split", *branch_names)
+    builder.fan_in("join", *branch_names)
+    return builder.build(), _setup(host_names, {"work": task_duration})
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    *,
+    max_parents: int = 3,
+    task_duration: float = 1.0,
+    hosts: int = 4,
+    seed: int = 0,
+    policy: FailurePolicy = FailurePolicy(),
+) -> tuple[Workflow, GridSetup]:
+    """A random layered DAG: *layers* × *width* activities; each node in
+    layer i>0 depends on 1..max_parents random nodes of layer i−1.
+
+    Deterministic for a given *seed*.  A dummy source/sink pair bounds the
+    graph so it has a single entry and exit.
+    """
+    if layers < 1 or width < 1:
+        raise SpecificationError("layered_dag needs layers, width >= 1")
+    rng = np.random.default_rng(seed)
+    host_names = [f"h{i}" for i in range(max(1, hosts))]
+    builder = WorkflowBuilder(f"layered-{layers}x{width}")
+    builder.program("work", hosts=host_names)
+    builder.dummy("source")
+    builder.dummy("sink")
+    grid_names: list[list[str]] = []
+    for layer in range(layers):
+        row = []
+        for i in range(width):
+            name = f"L{layer:03d}N{i:03d}"
+            builder.activity(name, implement="work", policy=policy)
+            row.append(name)
+        grid_names.append(row)
+    for name in grid_names[0]:
+        builder.transition("source", name)
+    for layer in range(1, layers):
+        for name in grid_names[layer]:
+            k = int(rng.integers(1, min(max_parents, width) + 1))
+            parents = rng.choice(width, size=k, replace=False)
+            for p in parents:
+                builder.transition(grid_names[layer - 1][int(p)], name)
+    # Every childless activity flows into the sink, so the DAG has a single
+    # exit whose completion witnesses the whole graph.
+    built = builder.build(validate_graph=False)
+    with_children = {t.source for t in built.transitions}
+    for row in grid_names:
+        for name in row:
+            if name not in with_children:
+                builder.transition(name, "sink")
+    return builder.build(), _setup(host_names, {"work": task_duration})
+
+
+def diamond_ladder(
+    rungs: int,
+    *,
+    task_duration: float = 1.0,
+    hosts: int = 2,
+    policy: FailurePolicy = FailurePolicy(),
+) -> tuple[Workflow, GridSetup]:
+    """*rungs* chained diamonds: each is split → (left, right) → join."""
+    if rungs < 1:
+        raise SpecificationError(f"diamond_ladder needs rungs >= 1, got {rungs}")
+    host_names = [f"h{i}" for i in range(max(1, hosts))]
+    builder = WorkflowBuilder(f"diamonds-{rungs}")
+    builder.program("work", hosts=host_names)
+    previous_join: str | None = None
+    for r in range(rungs):
+        split, left, right, join = (
+            f"split{r:03d}",
+            f"left{r:03d}",
+            f"right{r:03d}",
+            f"join{r:03d}",
+        )
+        builder.dummy(split)
+        builder.activity(left, implement="work", policy=policy)
+        builder.activity(right, implement="work", policy=policy)
+        builder.dummy(join)
+        builder.fan_out(split, left, right)
+        builder.fan_in(join, left, right)
+        if previous_join is not None:
+            builder.transition(previous_join, split)
+        previous_join = join
+    return builder.build(), _setup(host_names, {"work": task_duration})

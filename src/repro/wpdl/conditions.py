@@ -1,0 +1,238 @@
+"""Safe evaluator for WPDL condition expressions.
+
+Transition conditions (``if-then-else``) and loop conditions (``do-while``)
+are boolean expressions over the workflow variables, e.g.::
+
+    residual > 0.01 and iterations < 20
+    status == 'converged' or retries >= 3
+
+Workflow specifications are data, often shipped between sites, so the
+evaluator must not be ``eval``.  We parse with :mod:`ast` and interpret a
+whitelisted subset: literals, variable names, boolean/comparison/arithmetic
+operators, unary not/minus, and a few pure builtins (``abs``, ``min``,
+``max``, ``len``, ``round``).  Anything else —  attribute access, calls to
+other functions, comprehensions, lambdas — raises
+:class:`SpecificationError` at parse time.
+
+Missing variables evaluate to ``None`` rather than raising, because a
+condition may reference an output of an activity that was skipped; ``None``
+compares unequal to everything and is falsy, which gives the natural
+semantics ("branch not taken").
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Any, Mapping
+
+from ..errors import SpecificationError
+
+__all__ = ["compile_condition", "evaluate_condition", "ConditionProgram"]
+
+_BIN_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+
+_CMP_OPS = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+_ALLOWED_CALLS: dict[str, Any] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "len": len,
+    "round": round,
+}
+
+
+class ConditionProgram:
+    """A compiled condition: parse once, evaluate many times."""
+
+    def __init__(self, source: str, tree: ast.expression) -> None:
+        self.source = source
+        self._tree = tree
+
+    def evaluate(self, variables: Mapping[str, Any]) -> bool:
+        """Evaluate to a boolean over *variables*."""
+        return bool(_eval_node(self._tree.body, variables, self.source))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConditionProgram({self.source!r})"
+
+
+def compile_condition(source: str) -> ConditionProgram:
+    """Parse and whitelist-check *source*; raises SpecificationError on any
+    construct outside the safe subset."""
+    if not source or not source.strip():
+        raise SpecificationError("condition expression is empty")
+    try:
+        tree = ast.parse(source, mode="eval")
+    except SyntaxError as exc:
+        raise SpecificationError(
+            f"condition {source!r} is not a valid expression: {exc.msg}"
+        ) from exc
+    _check_node(tree.body, source)
+    return ConditionProgram(source, tree)
+
+
+def evaluate_condition(source: str, variables: Mapping[str, Any]) -> bool:
+    """One-shot compile-and-evaluate."""
+    return compile_condition(source).evaluate(variables)
+
+
+def _check_node(node: ast.AST, source: str) -> None:
+    if isinstance(node, ast.Constant):
+        if not isinstance(node.value, (int, float, str, bool, type(None))):
+            raise SpecificationError(
+                f"condition {source!r}: constant {node.value!r} not allowed"
+            )
+    elif isinstance(node, ast.Name):
+        pass
+    elif isinstance(node, ast.BoolOp):
+        for value in node.values:
+            _check_node(value, source)
+    elif isinstance(node, ast.UnaryOp):
+        if not isinstance(node.op, (ast.Not, ast.USub, ast.UAdd)):
+            raise SpecificationError(
+                f"condition {source!r}: unary operator not allowed"
+            )
+        _check_node(node.operand, source)
+    elif isinstance(node, ast.BinOp):
+        if type(node.op) not in _BIN_OPS:
+            raise SpecificationError(
+                f"condition {source!r}: operator {type(node.op).__name__} "
+                "not allowed"
+            )
+        _check_node(node.left, source)
+        _check_node(node.right, source)
+    elif isinstance(node, ast.Compare):
+        for op in node.ops:
+            if type(op) not in _CMP_OPS:
+                raise SpecificationError(
+                    f"condition {source!r}: comparison "
+                    f"{type(op).__name__} not allowed"
+                )
+        _check_node(node.left, source)
+        for comp in node.comparators:
+            _check_node(comp, source)
+    elif isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name) or node.func.id not in _ALLOWED_CALLS:
+            raise SpecificationError(
+                f"condition {source!r}: only calls to "
+                f"{sorted(_ALLOWED_CALLS)} are allowed"
+            )
+        if node.keywords:
+            raise SpecificationError(
+                f"condition {source!r}: keyword arguments not allowed"
+            )
+        for arg in node.args:
+            _check_node(arg, source)
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            _check_node(elt, source)
+    elif isinstance(node, ast.Subscript):
+        _check_node(node.value, source)
+        _check_node(node.slice, source)
+    elif isinstance(node, ast.IfExp):
+        _check_node(node.test, source)
+        _check_node(node.body, source)
+        _check_node(node.orelse, source)
+    else:
+        raise SpecificationError(
+            f"condition {source!r}: {type(node).__name__} not allowed"
+        )
+
+
+def _eval_node(node: ast.AST, variables: Mapping[str, Any], source: str) -> Any:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        return variables.get(node.id)
+    if isinstance(node, ast.BoolOp):
+        if isinstance(node.op, ast.And):
+            result: Any = True
+            for value in node.values:
+                result = _eval_node(value, variables, source)
+                if not result:
+                    return result
+            return result
+        result = False
+        for value in node.values:
+            result = _eval_node(value, variables, source)
+            if result:
+                return result
+        return result
+    if isinstance(node, ast.UnaryOp):
+        operand = _eval_node(node.operand, variables, source)
+        if isinstance(node.op, ast.Not):
+            return not operand
+        try:
+            return -operand if isinstance(node.op, ast.USub) else +operand
+        except TypeError as exc:
+            # e.g. negating a missing (None) variable
+            raise SpecificationError(
+                f"condition {source!r} failed to evaluate: {exc}"
+            ) from exc
+    if isinstance(node, ast.BinOp):
+        left = _eval_node(node.left, variables, source)
+        right = _eval_node(node.right, variables, source)
+        try:
+            return _BIN_OPS[type(node.op)](left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise SpecificationError(
+                f"condition {source!r} failed to evaluate: {exc}"
+            ) from exc
+    if isinstance(node, ast.Compare):
+        left = _eval_node(node.left, variables, source)
+        for op, comparator in zip(node.ops, node.comparators):
+            right = _eval_node(comparator, variables, source)
+            try:
+                ok = _CMP_OPS[type(op)](left, right)
+            except TypeError:
+                # Ordering against None (missing variable): branch not taken.
+                return False
+            if not ok:
+                return False
+            left = right
+        return True
+    if isinstance(node, ast.Call):
+        func = _ALLOWED_CALLS[node.func.id]  # type: ignore[union-attr]
+        args = [_eval_node(arg, variables, source) for arg in node.args]
+        try:
+            return func(*args)
+        except (TypeError, ValueError) as exc:
+            raise SpecificationError(
+                f"condition {source!r} failed to evaluate: {exc}"
+            ) from exc
+    if isinstance(node, (ast.Tuple, ast.List)):
+        values = [_eval_node(elt, variables, source) for elt in node.elts]
+        return tuple(values) if isinstance(node, ast.Tuple) else values
+    if isinstance(node, ast.Subscript):
+        container = _eval_node(node.value, variables, source)
+        key = _eval_node(node.slice, variables, source)
+        try:
+            return container[key]
+        except (TypeError, KeyError, IndexError):
+            return None
+    if isinstance(node, ast.IfExp):
+        test = _eval_node(node.test, variables, source)
+        branch = node.body if test else node.orelse
+        return _eval_node(branch, variables, source)
+    raise SpecificationError(  # pragma: no cover - _check_node prevents this
+        f"condition {source!r}: cannot evaluate {type(node).__name__}"
+    )

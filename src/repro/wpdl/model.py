@@ -1,0 +1,412 @@
+"""Workflow process model — the AST of the XML WPDL.
+
+The paper's Workflow Process Definition Language structures an application
+as a DAG of *activities* connected by *transitions*, with failure handling
+woven into the structure itself:
+
+* task-level policies (``max_tries``, ``interval``, ``policy='replica'``)
+  are activity attributes (Figures 2–3);
+* workflow-level handling is pure graph structure: a transition that fires
+  on ``failed`` names an alternative task (Figure 4), parallel branches
+  into an OR-join give workflow-level redundancy (Figure 5), and a
+  transition that fires on a named exception gives user-defined exception
+  handling (Figure 6);
+* ``if-then-else`` is a condition expression on a transition, and
+  ``do-while`` is the composite :class:`Loop` node (Section 7 lists both
+  as additional WPDL features).
+
+Everything here is immutable declarative data; runtime state lives in
+:mod:`repro.engine.instance`.
+
+Transition-condition semantics (how edges fire given the source's terminal
+status) are documented on :class:`TransitionCondition` and implemented by
+the navigator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Union
+
+from ..core.policy import DEFAULT_POLICY, FailurePolicy
+from ..errors import SpecificationError
+
+__all__ = [
+    "Option",
+    "Program",
+    "Parameter",
+    "Rethrow",
+    "JoinMode",
+    "ConditionKind",
+    "TransitionCondition",
+    "Transition",
+    "Activity",
+    "Loop",
+    "SubWorkflow",
+    "Node",
+    "Workflow",
+]
+
+
+@dataclass(frozen=True)
+class Option:
+    """One Grid resource option of a program (WPDL ``<Option>``).
+
+    Mirrors Figure 2's attributes: where the executable lives and which job
+    service starts it.  ``executable`` may override the program's logical
+    name on a per-host basis.
+    """
+
+    hostname: str
+    service: str = "jobmanager"
+    executable_dir: str = ""
+    executable: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.hostname:
+            raise SpecificationError("option requires a hostname")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A named executable with one or more resource options (``<Program>``).
+
+    A single option means the task runs (and retries) there; multiple
+    options enable retry-on-different-resources and, with
+    ``policy='replica'``, task-level replication (Figure 3).
+    """
+
+    name: str
+    options: tuple[Option, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("program requires a name")
+        if not self.options:
+            raise SpecificationError(f"program {self.name!r} has no options")
+
+    def executable_on(self, option: Option) -> str:
+        """Executable name to submit for *option* (per-host override wins)."""
+        return option.executable or self.name
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """An activity input binding (``<Input>``).
+
+    Exactly one of ``value`` (literal) or ``ref`` (value dependency on
+    another activity's recorded output, Section 7's "value dependency")
+    is set.
+    """
+
+    name: str
+    value: Any = None
+    ref: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("parameter requires a name")
+        if self.ref is not None and self.value is not None:
+            raise SpecificationError(
+                f"parameter {self.name!r}: value and ref are mutually exclusive"
+            )
+
+
+@dataclass(frozen=True)
+class Rethrow:
+    """Exception translation on an activity (WPDL ``<Rethrow>``).
+
+    When the activity raises an exception matching ``pattern``, the engine
+    renames it to ``as_name`` *before* workflow-level routing.  This lets a
+    workflow normalise the exception vocabularies of heterogeneous task
+    implementations (Section 2.3: tasks have task-specific failure
+    semantics) so one handler edge covers them all — e.g. translate a
+    solver's ``ENOSPC`` and a transfer tool's ``quota_exceeded`` both to
+    ``disk_full``.
+
+    Matching follows the most-specific-first rule of
+    :class:`repro.core.exceptions.ExceptionTable`.
+    """
+
+    pattern: str
+    as_name: str
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise SpecificationError("rethrow requires a pattern")
+        if not self.as_name:
+            raise SpecificationError("rethrow requires a target name")
+
+
+class JoinMode(str, Enum):
+    """Relationship among a node's incoming control flows.
+
+    ``AND`` (default): the node activates when *every* incoming transition
+    has fired.  ``OR``: the node activates on the *first* incoming
+    transition to fire (Figure 5's "OR relationship between the incoming
+    control flows").
+    """
+
+    AND = "and"
+    OR = "or"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ConditionKind(str, Enum):
+    """When an outgoing transition fires, given the source's terminal status.
+
+    - ``DONE``: fires on successful completion (the default edge).
+    - ``FAILED``: fires when the source ends in a task crash failure that
+      task-level recovery could not mask — the alternative-task edge of
+      Figure 4.  Also fires for an exception no ``EXCEPTION`` edge matched
+      (a generic catch-all, so one alternative task can cover both crash
+      and exception recovery as in Figure 6's description).
+    - ``EXCEPTION``: fires when the source raised a user-defined exception
+      matching :attr:`TransitionCondition.exception` (most specific
+      matching edge only).
+    - ``EXPR``: fires on success *and* when the boolean expression over the
+      workflow variables evaluates true (if-then-else).
+    - ``ALWAYS``: fires on any terminal status (cleanup edges).
+    """
+
+    DONE = "done"
+    FAILED = "failed"
+    EXCEPTION = "exception"
+    EXPR = "expr"
+    ALWAYS = "always"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TransitionCondition:
+    """The firing condition attached to a transition."""
+
+    kind: ConditionKind = ConditionKind.DONE
+    #: Exception name or glob pattern (``EXCEPTION`` kind only).
+    exception: str = ""
+    #: Boolean expression source (``EXPR`` kind only); evaluated by
+    #: :mod:`repro.wpdl.conditions` over the workflow variables.
+    expr: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is ConditionKind.EXCEPTION and not self.exception:
+            raise SpecificationError(
+                "exception transition requires an exception name/pattern"
+            )
+        if self.kind is ConditionKind.EXPR and not self.expr:
+            raise SpecificationError("expr transition requires an expression")
+        if self.kind is not ConditionKind.EXCEPTION and self.exception:
+            raise SpecificationError(
+                "exception pattern only valid on exception transitions"
+            )
+        if self.kind is not ConditionKind.EXPR and self.expr:
+            raise SpecificationError("expr only valid on expr transitions")
+
+    @staticmethod
+    def done() -> "TransitionCondition":
+        return TransitionCondition(ConditionKind.DONE)
+
+    @staticmethod
+    def failed() -> "TransitionCondition":
+        return TransitionCondition(ConditionKind.FAILED)
+
+    @staticmethod
+    def on_exception(pattern: str) -> "TransitionCondition":
+        return TransitionCondition(ConditionKind.EXCEPTION, exception=pattern)
+
+    @staticmethod
+    def when(expr: str) -> "TransitionCondition":
+        return TransitionCondition(ConditionKind.EXPR, expr=expr)
+
+    @staticmethod
+    def always() -> "TransitionCondition":
+        return TransitionCondition(ConditionKind.ALWAYS)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A directed control-flow edge between two nodes."""
+
+    source: str
+    target: str
+    condition: TransitionCondition = field(default_factory=TransitionCondition.done)
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise SpecificationError("transition requires source and target")
+        if self.source == self.target:
+            raise SpecificationError(
+                f"self-transition on {self.source!r} (use a Loop for iteration)"
+            )
+
+
+@dataclass(frozen=True)
+class Activity:
+    """A workflow task (WPDL ``<Activity>``).
+
+    ``implement`` names the :class:`Program` executing this activity; a
+    ``None`` implement makes it a *dummy* task (the Dummy_Split_Task /
+    Dummy_Join_Task of Figure 5) that completes instantly without a Grid
+    submission.
+
+    ``policy`` carries the task-level failure handling configuration;
+    ``join`` the incoming-flow relationship; ``inputs`` and ``outputs`` the
+    data bindings used by value dependencies and expression conditions.
+    """
+
+    name: str
+    implement: str | None = None
+    policy: FailurePolicy = DEFAULT_POLICY
+    join: JoinMode = JoinMode.AND
+    inputs: tuple[Parameter, ...] = ()
+    outputs: tuple[str, ...] = ()
+    #: Exception translations applied before workflow-level routing.
+    rethrows: tuple[Rethrow, ...] = ()
+    #: Free-form description (documentation only).
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("activity requires a name")
+
+    @property
+    def dummy(self) -> bool:
+        return self.implement is None
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A do-while composite node (Section 7's "loop structure").
+
+    The loop activates like an activity; each iteration runs a fresh
+    instance of ``body``.  After an iteration completes successfully the
+    ``condition`` expression is evaluated over the workflow variables
+    (which include the body's outputs); while true, another iteration runs.
+    ``max_iterations`` bounds runaway loops; exceeding it fails the loop
+    node.  A failed body iteration fails the loop node (its failure can
+    then be handled by workflow-level edges, like any task failure).
+    """
+
+    name: str
+    body: "Workflow"
+    condition: str
+    max_iterations: int = 1000
+    join: JoinMode = JoinMode.AND
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("loop requires a name")
+        if not self.condition:
+            raise SpecificationError(f"loop {self.name!r} requires a condition")
+        if self.max_iterations < 1:
+            raise SpecificationError(
+                f"loop {self.name!r}: max_iterations must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class SubWorkflow:
+    """A hierarchical composite node: run ``body`` once as a child workflow.
+
+    Grid applications are "multi-task applications" assembled from parts;
+    sub-workflows let a part be developed, validated and failure-hardened
+    on its own, then dropped into a larger DAG as a single node.  The node
+    completes when the body workflow completes; a failed body fails the
+    node — which the enclosing structure can then handle like any task
+    failure (alternative sub-workflow, OR-join redundancy, ...).  The
+    body's outputs merge into the enclosing workflow's variables.
+    """
+
+    name: str
+    body: "Workflow"
+    join: JoinMode = JoinMode.AND
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("subworkflow requires a name")
+
+
+Node = Union[Activity, Loop, SubWorkflow]
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """A complete workflow process definition.
+
+    ``nodes`` maps node name → :class:`Activity` or :class:`Loop`;
+    ``transitions`` is the control-flow edge list; ``programs`` the
+    executable definitions; ``variables`` the initial workflow variables
+    (extended at runtime with each activity's outputs).
+
+    Construction performs only local checks; run
+    :func:`repro.wpdl.validator.validate` (done automatically by the
+    builder and parser) for whole-graph validation.
+    """
+
+    name: str
+    nodes: dict[str, Node] = field(default_factory=dict)
+    transitions: tuple[Transition, ...] = ()
+    programs: dict[str, Program] = field(default_factory=dict)
+    variables: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("workflow requires a name")
+        for name, node in self.nodes.items():
+            if name != node.name:
+                raise SpecificationError(
+                    f"node key {name!r} does not match node name {node.name!r}"
+                )
+
+    # -- graph queries ------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise SpecificationError(
+                f"workflow {self.name!r} has no node {name!r}"
+            ) from None
+
+    def incoming(self, name: str) -> list[Transition]:
+        return [t for t in self.transitions if t.target == name]
+
+    def outgoing(self, name: str) -> list[Transition]:
+        return [t for t in self.transitions if t.source == name]
+
+    def entry_nodes(self) -> list[str]:
+        """Nodes with no incoming transitions (workflow starts here)."""
+        targets = {t.target for t in self.transitions}
+        return [n for n in self.nodes if n not in targets]
+
+    def exit_nodes(self) -> list[str]:
+        """Nodes with no outgoing transitions (workflow outcome depends on
+        these reaching completion)."""
+        sources = {t.source for t in self.transitions}
+        return [n for n in self.nodes if n not in sources]
+
+    def activities(self) -> list[Activity]:
+        return [n for n in self.nodes.values() if isinstance(n, Activity)]
+
+    def loops(self) -> list[Loop]:
+        return [n for n in self.nodes.values() if isinstance(n, Loop)]
+
+    def subworkflows(self) -> list["SubWorkflow"]:
+        return [n for n in self.nodes.values() if isinstance(n, SubWorkflow)]
+
+    def program_for(self, activity: Activity) -> Program | None:
+        """The program implementing *activity* (None for dummies)."""
+        if activity.implement is None:
+            return None
+        program = self.programs.get(activity.implement)
+        if program is None:
+            raise SpecificationError(
+                f"activity {activity.name!r} implements unknown program "
+                f"{activity.implement!r}"
+            )
+        return program

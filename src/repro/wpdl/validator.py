@@ -1,0 +1,229 @@
+"""Whole-graph validation of workflow process definitions.
+
+Run after parsing or building.  Checks, per workflow level (loop bodies are
+validated recursively):
+
+* structural sanity — nonempty graph, transitions reference existing nodes,
+  activities implement existing programs, node names unique per level;
+* acyclicity — the control-flow graph is a DAG (iteration must use
+  :class:`~repro.wpdl.model.Loop`, not back-edges);
+* policy consistency — ``policy='replica'`` needs at least two resource
+  options; retry rotation needs a program to rotate within;
+* condition well-formedness — every EXPR/loop condition compiles in the
+  safe expression subset;
+* reachability — every node is reachable from an entry node (no orphaned
+  islands silently skipped at runtime);
+* value dependencies — every ``ref`` parameter names a node or a declared
+  variable.
+
+Violations are collected and raised together in one
+:class:`~repro.errors.ValidationError`, so users fix a specification in one
+pass.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.policy import ReplicationMode
+from ..errors import SpecificationError, ValidationError
+from .conditions import compile_condition
+from .model import Activity, ConditionKind, Loop, SubWorkflow, Workflow
+
+__all__ = ["validate", "validation_problems"]
+
+
+def validate(workflow: Workflow) -> Workflow:
+    """Validate *workflow*; returns it unchanged on success.
+
+    Raises :class:`ValidationError` listing every problem found.
+    """
+    problems = validation_problems(workflow)
+    if problems:
+        bullet_list = "\n".join(f"  - {p}" for p in problems)
+        raise ValidationError(
+            f"workflow {workflow.name!r} is invalid:\n{bullet_list}"
+        )
+    return workflow
+
+
+def validation_problems(workflow: Workflow, *, _path: str = "") -> list[str]:
+    """All problems with *workflow* (empty list when valid)."""
+    prefix = f"{_path}{workflow.name}"
+    problems: list[str] = []
+
+    if not workflow.nodes:
+        problems.append(f"{prefix}: workflow has no nodes")
+        return problems
+
+    node_names = set(workflow.nodes)
+
+    # -- transitions ---------------------------------------------------------
+    seen_edges: set[tuple[str, str, str, str]] = set()
+    for t in workflow.transitions:
+        if t.source not in node_names:
+            problems.append(
+                f"{prefix}: transition references unknown source {t.source!r}"
+            )
+        if t.target not in node_names:
+            problems.append(
+                f"{prefix}: transition references unknown target {t.target!r}"
+            )
+        key = (t.source, t.target, t.condition.kind.value,
+               t.condition.exception or t.condition.expr)
+        if key in seen_edges:
+            problems.append(
+                f"{prefix}: duplicate transition {t.source!r} -> {t.target!r} "
+                f"({t.condition.kind.value})"
+            )
+        seen_edges.add(key)
+        if t.condition.kind is ConditionKind.EXPR:
+            try:
+                compile_condition(t.condition.expr)
+            except SpecificationError as exc:
+                problems.append(f"{prefix}: {exc}")
+
+    # -- nodes ------------------------------------------------------------------
+    declared_outputs: set[str] = set(workflow.variables)
+    for node in workflow.nodes.values():
+        if isinstance(node, Activity):
+            declared_outputs.add(node.name)
+            declared_outputs.update(node.outputs)
+        else:
+            declared_outputs.add(node.name)
+
+    for node in workflow.nodes.values():
+        if isinstance(node, Activity):
+            problems.extend(_check_activity(workflow, node, prefix))
+        elif isinstance(node, Loop):
+            try:
+                compile_condition(node.condition)
+            except SpecificationError as exc:
+                problems.append(f"{prefix}: loop {node.name!r}: {exc}")
+            problems.extend(
+                validation_problems(node.body, _path=f"{prefix}/")
+            )
+        elif isinstance(node, SubWorkflow):
+            problems.extend(
+                validation_problems(node.body, _path=f"{prefix}/")
+            )
+
+    # -- value dependencies ---------------------------------------------------------
+    for node in workflow.nodes.values():
+        if isinstance(node, Activity):
+            for param in node.inputs:
+                if param.ref is not None and param.ref not in declared_outputs:
+                    problems.append(
+                        f"{prefix}: activity {node.name!r} input "
+                        f"{param.name!r} references unknown output {param.ref!r}"
+                    )
+
+    # -- graph shape -----------------------------------------------------------------
+    if any(
+        t.source not in node_names or t.target not in node_names
+        for t in workflow.transitions
+    ):
+        return problems  # skip graph analyses on a broken edge list
+
+    cycle = _find_cycle(workflow)
+    if cycle is not None:
+        problems.append(
+            f"{prefix}: control flow contains a cycle: {' -> '.join(cycle)} "
+            "(use a Loop node for iteration)"
+        )
+        return problems
+
+    entries = workflow.entry_nodes()
+    if not entries:
+        problems.append(f"{prefix}: no entry node (every node has predecessors)")
+    else:
+        unreachable = node_names - _reachable(workflow, entries)
+        for name in sorted(unreachable):
+            problems.append(
+                f"{prefix}: node {name!r} is unreachable from any entry node"
+            )
+
+    return problems
+
+
+def _check_activity(workflow: Workflow, activity: Activity, prefix: str) -> list[str]:
+    problems: list[str] = []
+    program = None
+    if activity.implement is not None:
+        program = workflow.programs.get(activity.implement)
+        if program is None:
+            problems.append(
+                f"{prefix}: activity {activity.name!r} implements unknown "
+                f"program {activity.implement!r}"
+            )
+    if activity.policy.replication is ReplicationMode.REPLICA:
+        if program is None:
+            problems.append(
+                f"{prefix}: activity {activity.name!r} uses policy='replica' "
+                "but has no program"
+            )
+        elif len(program.options) < 2:
+            problems.append(
+                f"{prefix}: activity {activity.name!r} uses policy='replica' "
+                f"but program {program.name!r} has only "
+                f"{len(program.options)} resource option"
+            )
+    if activity.dummy and activity.policy.replication is ReplicationMode.REPLICA:
+        problems.append(
+            f"{prefix}: dummy activity {activity.name!r} cannot be replicated"
+        )
+    return problems
+
+
+def _find_cycle(workflow: Workflow) -> list[str] | None:
+    """Return one cycle as a node list, or None when acyclic (iterative DFS
+    with colouring; recursion-free so deep graphs cannot blow the stack)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in workflow.nodes}
+    succ = {name: [] for name in workflow.nodes}
+    for t in workflow.transitions:
+        succ[t.source].append(t.target)
+    parent: dict[str, str] = {}
+
+    for root in workflow.nodes:
+        if colour[root] != WHITE:
+            continue
+        stack: list[tuple[str, int]] = [(root, 0)]
+        colour[root] = GREY
+        while stack:
+            node, idx = stack[-1]
+            if idx < len(succ[node]):
+                stack[-1] = (node, idx + 1)
+                child = succ[node][idx]
+                if colour[child] == GREY:
+                    # Reconstruct the cycle from the grey path.
+                    cycle = [child, node]
+                    cur = node
+                    while cur != child and cur in parent:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+                if colour[child] == WHITE:
+                    colour[child] = GREY
+                    parent[child] = node
+                    stack.append((child, 0))
+            else:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def _reachable(workflow: Workflow, entries: list[str]) -> set[str]:
+    succ: dict[str, list[str]] = {name: [] for name in workflow.nodes}
+    for t in workflow.transitions:
+        succ[t.source].append(t.target)
+    seen = set(entries)
+    queue = deque(entries)
+    while queue:
+        node = queue.popleft()
+        for child in succ[node]:
+            if child not in seen:
+                seen.add(child)
+                queue.append(child)
+    return seen

@@ -1,0 +1,33 @@
+"""Shared fixtures for the Grid-WFS test suite (workflow-construction
+helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import EventBus
+from repro.grid import GridConfig, SimKernel, SimReactor, SimulatedGrid
+
+
+@pytest.fixture
+def kernel() -> SimKernel:
+    return SimKernel()
+
+
+@pytest.fixture
+def reactor(kernel: SimKernel) -> SimReactor:
+    return SimReactor(kernel)
+
+
+@pytest.fixture
+def bus() -> EventBus:
+    bus = EventBus()
+    bus.enable_history()
+    return bus
+
+
+@pytest.fixture
+def quiet_grid() -> SimulatedGrid:
+    """A grid without heartbeats (pure prompt-crash detection) for fast,
+    deterministic engine tests."""
+    return SimulatedGrid(config=GridConfig(heartbeats=False))

@@ -1,0 +1,87 @@
+"""Shared workflow-construction helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.core import FailurePolicy
+from repro.engine import WorkflowEngine
+from repro.grid import RELIABLE, FixedDurationTask, SimulatedGrid
+from repro.wpdl import JoinMode, WorkflowBuilder
+
+
+def single_task_workflow(
+    name: str = "single",
+    *,
+    host: str = "h1",
+    policy: FailurePolicy = FailurePolicy(),
+    executable: str = "task",
+):
+    """A one-activity workflow used by many engine tests."""
+    return (
+        WorkflowBuilder(name)
+        .program(executable, hosts=[host])
+        .activity("task", implement=executable, policy=policy)
+        .build()
+    )
+
+
+def run_workflow(workflow, grid: SimulatedGrid, *, timeout: float = 1e7):
+    """Run *workflow* on *grid* and return the WorkflowResult."""
+    engine = WorkflowEngine(workflow, grid, reactor=grid.reactor)
+    return engine.run(timeout=timeout)
+
+
+def fig4_workflow(*, fu_policy: FailurePolicy = FailurePolicy.retrying(2)):
+    """The alternative-task DAG of the paper's Figure 4."""
+    return (
+        WorkflowBuilder("fig4")
+        .program("fast", hosts=["u1"])
+        .program("slow", hosts=["r1"])
+        .activity("FU", implement="fast", policy=fu_policy)
+        .activity("SR", implement="slow")
+        .dummy("Join", join=JoinMode.OR)
+        .transition("FU", "Join")
+        .on_failure("FU", "SR")
+        .transition("SR", "Join")
+        .build()
+    )
+
+
+def fig5_workflow():
+    """The workflow-level redundancy DAG of the paper's Figure 5."""
+    return (
+        WorkflowBuilder("fig5")
+        .program("fast", hosts=["u1"])
+        .program("slow", hosts=["r1"])
+        .dummy("Split")
+        .activity("FU", implement="fast")
+        .activity("SR", implement="slow")
+        .dummy("Join", join=JoinMode.OR)
+        .redundant("Split", "Join", "FU", "SR")
+        .build()
+    )
+
+
+def fig6_workflow(*, fu_policy: FailurePolicy = FailurePolicy()):
+    """The user-defined exception handling DAG of the paper's Figure 6."""
+    return (
+        WorkflowBuilder("fig6")
+        .program("fast", hosts=["u1"])
+        .program("slow", hosts=["r1"])
+        .activity("FU", implement="fast", policy=fu_policy)
+        .activity("SR", implement="slow")
+        .dummy("DJ", join=JoinMode.OR)
+        .transition("FU", "DJ")
+        .on_exception("FU", "disk_full", "SR")
+        .transition("SR", "DJ")
+        .build()
+    )
+
+
+def two_reliable_hosts(grid: SimulatedGrid) -> SimulatedGrid:
+    grid.add_host(RELIABLE("u1"))
+    grid.add_host(RELIABLE("r1"))
+    return grid
+
+
+def install_fixed(grid: SimulatedGrid, host: str, name: str, duration: float, result=None):
+    grid.install(host, name, FixedDurationTask(duration, result=result))

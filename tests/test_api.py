@@ -1,0 +1,101 @@
+"""Unit tests for the task-side notification API (TaskContext)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import UserException
+from repro.detection.api import TaskContext, UserExceptionSignal
+from repro.detection.messages import (
+    CheckpointNotice,
+    ExceptionNotice,
+    TaskEnd,
+    TaskStart,
+)
+from repro.errors import DetectionError
+
+
+@pytest.fixture
+def ctx_and_sent():
+    sent = []
+    clock = {"t": 0.0}
+    ctx = TaskContext(
+        "job-1", "n1", send=sent.append, clock=lambda: clock["t"]
+    )
+    return ctx, sent, clock
+
+
+class TestNotifications:
+    def test_task_start_message(self, ctx_and_sent):
+        ctx, sent, clock = ctx_and_sent
+        clock["t"] = 3.0
+        ctx.task_start()
+        assert sent == [TaskStart(sent_at=3.0, job_id="job-1", hostname="n1")]
+
+    def test_task_start_twice_rejected(self, ctx_and_sent):
+        ctx, _, _ = ctx_and_sent
+        ctx.task_start()
+        with pytest.raises(DetectionError, match="twice"):
+            ctx.task_start()
+
+    def test_task_end_with_result(self, ctx_and_sent):
+        ctx, sent, _ = ctx_and_sent
+        ctx.task_end({"answer": 42})
+        assert isinstance(sent[-1], TaskEnd)
+        assert sent[-1].result == {"answer": 42}
+
+    def test_task_end_twice_rejected(self, ctx_and_sent):
+        ctx, _, _ = ctx_and_sent
+        ctx.task_end()
+        with pytest.raises(DetectionError):
+            ctx.task_end()
+
+    def test_checkpoint_notice_carries_flag_and_progress(self, ctx_and_sent):
+        ctx, sent, _ = ctx_and_sent
+        ctx.task_checkpoint("ckpt-7", progress=0.35)
+        notice = sent[-1]
+        assert isinstance(notice, CheckpointNotice)
+        assert notice.flag == "ckpt-7"
+        assert notice.progress == 0.35
+
+    def test_empty_checkpoint_flag_rejected(self, ctx_and_sent):
+        ctx, _, _ = ctx_and_sent
+        with pytest.raises(DetectionError):
+            ctx.task_checkpoint("")
+
+
+class TestExceptions:
+    def test_raise_exception_sends_then_raises(self, ctx_and_sent):
+        ctx, sent, _ = ctx_and_sent
+        with pytest.raises(UserExceptionSignal) as exc_info:
+            ctx.raise_exception("disk_full", "no space", free_gb=0.2)
+        notice = sent[-1]
+        assert isinstance(notice, ExceptionNotice)
+        assert notice.exception.name == "disk_full"
+        assert notice.exception.data == {"free_gb": 0.2}
+        assert exc_info.value.exception.name == "disk_full"
+
+    def test_send_exception_does_not_abort(self, ctx_and_sent):
+        ctx, sent, _ = ctx_and_sent
+        ctx.send_exception(UserException("warning_only"))
+        assert isinstance(sent[-1], ExceptionNotice)  # and no raise
+
+
+class TestResume:
+    def test_fresh_start_not_resuming(self, ctx_and_sent):
+        ctx, _, _ = ctx_and_sent
+        assert not ctx.resuming
+        assert ctx.checkpoint_flag is None
+
+    def test_resuming_exposes_flag(self):
+        ctx = TaskContext(
+            "j", "h", send=lambda m: None, clock=lambda: 0.0,
+            checkpoint_flag="ckpt-3",
+        )
+        assert ctx.resuming
+        assert ctx.checkpoint_flag == "ckpt-3"
+
+    def test_now_reads_clock(self, ctx_and_sent):
+        ctx, _, clock = ctx_and_sent
+        clock["t"] = 9.0
+        assert ctx.now() == 9.0

@@ -1,0 +1,174 @@
+"""Unit tests for simulated task behaviours (plan generation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.behaviors import (
+    CheckpointingTask,
+    CrashingTask,
+    ExceptionProneTask,
+    FixedDurationTask,
+    FlakyTask,
+    PlanContext,
+    Step,
+)
+from repro.grid.random import RandomStreams
+from repro.grid.resource import RELIABLE
+
+
+def ctx(attempt=1, checkpoint_state=None, job="job-1", seed=7):
+    return PlanContext(
+        activity="act",
+        job_id=job,
+        host=RELIABLE("h1"),
+        attempt=attempt,
+        streams=RandomStreams(seed=seed),
+        checkpoint_state=checkpoint_state,
+    )
+
+
+class TestStep:
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            Step(-1.0, "start")
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError):
+            Step(0.0, "explode")
+
+
+class TestFixedDuration:
+    def test_plan_shape(self):
+        plan = FixedDurationTask(30.0, result="r").plan(ctx())
+        assert [s.action for s in plan] == ["start", "end"]
+        assert plan[-1].offset == 30.0
+        assert plan[-1].payload["result"] == "r"
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDurationTask(-1.0)
+
+
+class TestCheckpointing:
+    def test_fresh_plan_has_k_checkpoints_and_overhead(self):
+        task = CheckpointingTask(duration=30.0, checkpoints=3, overhead=0.5)
+        plan = task.plan(ctx())
+        actions = [s.action for s in plan]
+        assert actions == ["start", "checkpoint", "checkpoint", "checkpoint", "end"]
+        # Each segment is 10 + 0.5; total 31.5.
+        assert plan[-1].offset == pytest.approx(31.5)
+        assert plan[1].offset == pytest.approx(10.5)
+        assert plan[1].payload["state"] == {"segments_done": 1}
+        assert plan[1].payload["progress"] == pytest.approx(1 / 3)
+
+    def test_resume_skips_done_segments_and_pays_recovery(self):
+        task = CheckpointingTask(
+            duration=30.0, checkpoints=3, overhead=0.5, recovery_time=2.0
+        )
+        plan = task.plan(ctx(checkpoint_state={"segments_done": 2}))
+        actions = [s.action for s in plan]
+        assert actions == ["start", "checkpoint", "end"]
+        # R + one segment (10 + 0.5).
+        assert plan[-1].offset == pytest.approx(12.5)
+
+    def test_resume_with_all_segments_done_ends_after_recovery(self):
+        task = CheckpointingTask(duration=30.0, checkpoints=3, recovery_time=1.0)
+        plan = task.plan(ctx(checkpoint_state={"segments_done": 3}))
+        assert [s.action for s in plan] == ["start", "end"]
+        assert plan[-1].offset == pytest.approx(1.0)
+
+    def test_corrupt_state_clamped(self):
+        task = CheckpointingTask(duration=30.0, checkpoints=3)
+        plan = task.plan(ctx(checkpoint_state={"segments_done": 99}))
+        assert plan[-1].action == "end"
+
+    def test_segment_length_property(self):
+        assert CheckpointingTask(30.0, 20).segment_length == pytest.approx(1.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CheckpointingTask(duration=0.0, checkpoints=5)
+        with pytest.raises(ValueError):
+            CheckpointingTask(duration=10.0, checkpoints=0)
+        with pytest.raises(ValueError):
+            CheckpointingTask(duration=10.0, checkpoints=2, overhead=-1.0)
+
+
+class TestExceptionProne:
+    def test_p_zero_always_succeeds(self):
+        task = ExceptionProneTask(duration=30.0, checks=5, probability=0.0)
+        plan = task.plan(ctx())
+        assert plan[-1].action == "end"
+        assert plan[-1].offset == pytest.approx(30.0)
+
+    def test_p_one_fails_at_first_check(self):
+        task = ExceptionProneTask(duration=30.0, checks=5, probability=1.0)
+        plan = task.plan(ctx())
+        assert plan[-1].action == "exception"
+        assert plan[-1].offset == pytest.approx(6.0)
+        exc = plan[-1].payload["exception"]
+        assert exc.name == "disk_full"
+        assert exc.data["check"] == 1
+
+    def test_checkpointable_variant_saves_after_each_check(self):
+        task = ExceptionProneTask(
+            duration=30.0, checks=5, probability=0.0, checkpointable=True
+        )
+        plan = task.plan(ctx())
+        checkpoints = [s for s in plan if s.action == "checkpoint"]
+        assert len(checkpoints) == 5
+        assert checkpoints[0].payload["state"] == {"checks_done": 1}
+
+    def test_checkpointable_resume_skips_passed_checks(self):
+        task = ExceptionProneTask(
+            duration=30.0, checks=5, probability=0.0, checkpointable=True
+        )
+        plan = task.plan(ctx(checkpoint_state={"checks_done": 4}))
+        assert sum(1 for s in plan if s.action == "checkpoint") == 1
+        assert plan[-1].offset == pytest.approx(6.0)
+
+    def test_different_attempts_draw_independently(self):
+        task = ExceptionProneTask(duration=30.0, checks=1, probability=0.5)
+        outcomes = {
+            task.plan(ctx(job=f"job-{i}"))[-1].action for i in range(60)
+        }
+        assert outcomes == {"end", "exception"}
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ExceptionProneTask(duration=10.0, checks=2, probability=1.5)
+
+
+class TestCrashing:
+    def test_crashes_on_first_attempts_then_succeeds(self):
+        task = CrashingTask(duration=30.0, crash_at=5.0, crashes=2)
+        assert task.plan(ctx(attempt=1))[-1].action == "crash"
+        assert task.plan(ctx(attempt=2))[-1].action == "crash"
+        assert task.plan(ctx(attempt=3))[-1].action == "end"
+
+    def test_crashes_forever_with_none(self):
+        task = CrashingTask(duration=30.0, crash_at=5.0, crashes=None)
+        assert task.plan(ctx(attempt=100))[-1].action == "crash"
+
+    def test_crash_at_bounds_checked(self):
+        with pytest.raises(ValueError):
+            CrashingTask(duration=10.0, crash_at=11.0)
+
+
+class TestFlaky:
+    def test_probability_zero_never_crashes(self):
+        task = FlakyTask(duration=10.0, crash_probability=0.0)
+        assert task.plan(ctx())[-1].action == "end"
+
+    def test_probability_one_always_crashes_within_duration(self):
+        task = FlakyTask(duration=10.0, crash_probability=1.0)
+        plan = task.plan(ctx())
+        assert plan[-1].action == "crash"
+        assert 0.0 <= plan[-1].offset <= 10.0
+
+    def test_same_context_is_deterministic(self):
+        task = FlakyTask(duration=10.0, crash_probability=0.5)
+        p1 = task.plan(ctx(seed=9))
+        p2 = task.plan(ctx(seed=9))
+        assert [(s.offset, s.action) for s in p1] == [(s.offset, s.action) for s in p2]

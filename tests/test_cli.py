@@ -1,0 +1,177 @@
+"""Tests for the command-line interface and the gridspec loader."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import GridError
+from repro.gridspec import behavior_from_spec, build_grid, load_gridspec
+from repro.grid.behaviors import CheckpointingTask, FixedDurationTask
+
+WORKFLOW_XML = """
+<Workflow name='cliwf'>
+  <Activity name='summation' max_tries='3'>
+    <Output>total</Output>
+    <Implement>sum</Implement>
+  </Activity>
+  <Program name='sum'>
+    <Option hostname='n1'/>
+  </Program>
+</Workflow>
+"""
+
+GRIDSPEC = {
+    "seed": 7,
+    "config": {"heartbeats": False},
+    "hosts": [{"hostname": "n1", "reliable": True}],
+    "software": [
+        {
+            "hostname": "*",
+            "executable": "sum",
+            "behavior": {"type": "fixed", "duration": 30.0, "result": 42},
+        }
+    ],
+}
+
+
+@pytest.fixture
+def workflow_file(tmp_path):
+    path = tmp_path / "wf.xml"
+    path.write_text(WORKFLOW_XML)
+    return path
+
+
+@pytest.fixture
+def grid_file(tmp_path):
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(GRIDSPEC))
+    return path
+
+
+class TestGridspec:
+    def test_build_grid_from_spec(self):
+        grid = build_grid(GRIDSPEC)
+        assert "n1" in grid.hosts
+        assert isinstance(grid.host("n1").resolve("sum"), FixedDurationTask)
+
+    def test_load_from_file(self, grid_file):
+        grid = load_gridspec(grid_file)
+        assert grid.streams.seed == 7
+
+    def test_missing_hosts_rejected(self):
+        with pytest.raises(GridError, match="no hosts"):
+            build_grid({"hosts": []})
+
+    def test_reliable_and_mttf_exclusive(self):
+        with pytest.raises(GridError, match="exclusive"):
+            build_grid(
+                {"hosts": [{"hostname": "n1", "reliable": True, "mttf": 5}]}
+            )
+
+    def test_unknown_behavior_type(self):
+        with pytest.raises(GridError, match="unknown behavior"):
+            behavior_from_spec({"type": "quantum"})
+
+    def test_behavior_missing_field(self):
+        with pytest.raises(GridError, match="missing required field"):
+            behavior_from_spec({"type": "fixed"})
+
+    def test_all_behavior_types_constructible(self):
+        specs = [
+            {"type": "fixed", "duration": 1.0},
+            {"type": "checkpointing", "duration": 10.0, "checkpoints": 2},
+            {
+                "type": "exception_prone",
+                "duration": 10.0,
+                "checks": 2,
+                "probability": 0.5,
+            },
+            {"type": "crashing", "duration": 10.0, "crash_at": 5.0},
+            {"type": "flaky", "duration": 10.0, "crash_probability": 0.5},
+        ]
+        for spec in specs:
+            behavior_from_spec(spec)
+
+    def test_checkpointing_defaults(self):
+        behavior = behavior_from_spec(
+            {"type": "checkpointing", "duration": 10.0, "checkpoints": 4}
+        )
+        assert isinstance(behavior, CheckpointingTask)
+        assert behavior.overhead == 0.5
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(GridError, match="not valid JSON"):
+            load_gridspec(path)
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(GridError, match="JSON object"):
+            load_gridspec(path)
+
+
+class TestCli:
+    def test_validate_ok(self, workflow_file, capsys):
+        assert main(["validate", str(workflow_file)]) == 0
+        assert "is valid" in capsys.readouterr().out
+
+    def test_validate_reports_problems(self, tmp_path, capsys):
+        path = tmp_path / "bad.xml"
+        path.write_text(
+            "<Workflow name='w'><Activity name='a'/>"
+            "<Transition from='a' to='ghost'/></Workflow>"
+        )
+        assert main(["validate", str(path)]) == 2
+        assert "ghost" in capsys.readouterr().out
+
+    def test_lint_clean_and_dirty(self, workflow_file, tmp_path, capsys):
+        assert main(["lint", str(workflow_file)]) == 0
+        dirty = tmp_path / "dirty.xml"
+        dirty.write_text("<Workflow name='w'><Activity name='a' speed='9'/></Workflow>")
+        assert main(["lint", str(dirty)]) == 2
+
+    def test_run_success(self, workflow_file, grid_file, capsys):
+        code = main(["run", str(workflow_file), "--grid", str(grid_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "done" in out and "30.000" in out
+
+    def test_run_workflow_failure_exit_code(self, tmp_path, grid_file, capsys):
+        wf = tmp_path / "fail.xml"
+        wf.write_text(
+            "<Workflow name='w'>"
+            "<Activity name='t'><Implement>missing</Implement></Activity>"
+            "<Program name='missing'><Option hostname='n1'/></Program>"
+            "</Workflow>"
+        )
+        assert main(["run", str(wf), "--grid", str(grid_file)]) == 1
+
+    def test_run_with_checkpoint_then_resume(
+        self, workflow_file, grid_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "engine.ckpt"
+        assert (
+            main(
+                [
+                    "run",
+                    str(workflow_file),
+                    "--grid",
+                    str(grid_file),
+                    "--checkpoint",
+                    str(ckpt),
+                ]
+            )
+            == 0
+        )
+        assert ckpt.exists()
+        assert main(["resume", str(ckpt), "--grid", str(grid_file)]) == 0
+
+    def test_spec_error_exit_code(self, tmp_path, grid_file, capsys):
+        missing = tmp_path / "nope.xml"
+        assert main(["run", str(missing), "--grid", str(grid_file)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Unit tests for the safe condition-expression evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.wpdl.conditions import compile_condition, evaluate_condition
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "expr,variables,expected",
+        [
+            ("x > 3", {"x": 5}, True),
+            ("x > 3", {"x": 2}, False),
+            ("x == 'converged'", {"x": "converged"}, True),
+            ("x != y", {"x": 1, "y": 2}, True),
+            ("a and b", {"a": True, "b": False}, False),
+            ("a or b", {"a": False, "b": True}, True),
+            ("not done", {"done": False}, True),
+            ("x + y * 2 >= 10", {"x": 2, "y": 4}, True),
+            ("x % 2 == 0", {"x": 4}, True),
+            ("x ** 2 < 20", {"x": 4}, True),
+            ("-x < 0", {"x": 3}, True),
+            ("1 < x < 5", {"x": 3}, True),
+            ("1 < x < 5", {"x": 7}, False),
+            ("abs(err) < 0.1", {"err": -0.05}, True),
+            ("min(a, b) == 1", {"a": 1, "b": 2}, True),
+            ("max(a, b) == 2", {"a": 1, "b": 2}, True),
+            ("len(items) == 3", {"items": [1, 2, 3]}, True),
+            ("round(x) == 3", {"x": 2.7}, True),
+            ("x in (1, 2, 3)", {"x": 2}, True),
+            ("x not in (1, 2)", {"x": 5}, True),
+            ("items[0] > 0", {"items": [5]}, True),
+            ("('yes' if flag else 'no') == 'yes'", {"flag": True}, True),
+            ("x / y > 1", {"x": 4, "y": 2}, True),
+            ("x // 2 == 3", {"x": 7}, True),
+        ],
+    )
+    def test_expressions(self, expr, variables, expected):
+        assert evaluate_condition(expr, variables) is expected
+
+    def test_missing_variable_is_none_and_falsy(self):
+        assert evaluate_condition("missing", {}) is False
+
+    def test_missing_variable_comparisons_are_false(self):
+        # Ordering comparisons against a missing output: branch not taken.
+        assert evaluate_condition("missing > 3", {}) is False
+        assert evaluate_condition("missing == 3", {}) is False
+
+    def test_missing_variable_inequality_is_true(self):
+        assert evaluate_condition("missing != 3", {}) is True
+
+    def test_subscript_out_of_range_is_none(self):
+        assert evaluate_condition("items[9]", {"items": [1]}) is False
+
+    def test_division_by_zero_raises_specification_error(self):
+        with pytest.raises(SpecificationError, match="failed to evaluate"):
+            evaluate_condition("1 / x", {"x": 0})
+
+    def test_compiled_program_reusable(self):
+        prog = compile_condition("count < 5")
+        assert prog.evaluate({"count": 1})
+        assert not prog.evaluate({"count": 9})
+        assert prog.source == "count < 5"
+
+
+class TestSafety:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "__import__('os').system('rm -rf /')",
+            "open('/etc/passwd')",
+            "x.__class__",
+            "(lambda: 1)()",
+            "[i for i in range(10)]",
+            "{'a': 1}",
+            "exec('1')",
+            "x @ y",
+            "x << 2",
+            "f'{x}'",
+            "x := 5",
+        ],
+    )
+    def test_dangerous_constructs_rejected_at_compile_time(self, expr):
+        with pytest.raises(SpecificationError):
+            compile_condition(expr)
+
+    def test_only_whitelisted_calls(self):
+        with pytest.raises(SpecificationError, match="only calls"):
+            compile_condition("sorted(x)")
+
+    def test_no_keyword_arguments(self):
+        with pytest.raises(SpecificationError):
+            compile_condition("round(x, ndigits=2)")
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(SpecificationError, match="empty"):
+            compile_condition("   ")
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(SpecificationError, match="not a valid expression"):
+            compile_condition("x >")
+
+    def test_bytes_constant_rejected(self):
+        with pytest.raises(SpecificationError):
+            compile_condition("x == b'raw'")
+
+    def test_shortcircuit_semantics(self):
+        # `and`/`or` follow Python truthiness; result is coerced to bool.
+        assert evaluate_condition("1 and 2", {}) is True
+        assert evaluate_condition("0 and (1 / x)", {"x": 0}) is False  # no div
+        assert evaluate_condition("1 or (1 / x)", {"x": 0}) is True

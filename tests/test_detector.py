@@ -1,0 +1,179 @@
+"""Unit tests for the per-task failure detector (paper's state rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import UserException
+from repro.core.states import TaskState
+from repro.detection.detector import (
+    TASK_ACTIVE,
+    TASK_DONE,
+    TASK_EXCEPTION,
+    TASK_FAILED,
+    FailureDetector,
+)
+from repro.detection.messages import (
+    CheckpointNotice,
+    Done,
+    ExceptionNotice,
+    Heartbeat,
+    TaskEnd,
+    TaskStart,
+)
+from repro.errors import DetectionError
+
+
+@pytest.fixture
+def detector(reactor, bus):
+    return FailureDetector(reactor, bus)
+
+
+def outcomes(bus, topic):
+    return [r.payload for r in bus.history if r.topic == topic]
+
+
+def track(detector, job="j1", activity="act", host="n1"):
+    detector.track(job, activity, host)
+    return job
+
+
+class TestDeterminationRules:
+    def test_done_with_taskend_is_success(self, detector, bus):
+        job = track(detector)
+        detector.deliver(TaskStart(job_id=job, hostname="n1"))
+        detector.deliver(TaskEnd(job_id=job, hostname="n1", result=7))
+        detector.deliver(Done(job_id=job, hostname="n1"))
+        done = outcomes(bus, TASK_DONE)
+        assert len(done) == 1
+        assert done[0].state is TaskState.DONE
+        assert done[0].result == 7
+        assert done[0].reason == "done-with-taskend"
+
+    def test_done_without_taskend_is_task_crash(self, detector, bus):
+        job = track(detector)
+        detector.deliver(TaskStart(job_id=job, hostname="n1"))
+        detector.deliver(Done(job_id=job, hostname="n1", exit_code=0))
+        failed = outcomes(bus, TASK_FAILED)
+        assert len(failed) == 1
+        assert failed[0].reason == "done-without-taskend"
+
+    def test_nonzero_exit_with_taskend_still_fails(self, detector, bus):
+        job = track(detector)
+        detector.deliver(TaskStart(job_id=job, hostname="n1"))
+        detector.deliver(TaskEnd(job_id=job, hostname="n1"))
+        detector.deliver(Done(job_id=job, hostname="n1", exit_code=3))
+        assert outcomes(bus, TASK_DONE) == []
+        assert len(outcomes(bus, TASK_FAILED)) == 1
+
+    def test_host_crashed_done_fails(self, detector, bus):
+        job = track(detector)
+        detector.deliver(TaskStart(job_id=job, hostname="n1"))
+        detector.deliver(TaskEnd(job_id=job, hostname="n1"))
+        detector.deliver(Done(job_id=job, hostname="n1", host_crashed=True))
+        failed = outcomes(bus, TASK_FAILED)
+        assert failed and failed[0].reason == "host-crashed"
+
+    def test_exception_notice_surfaces_user_exception(self, detector, bus):
+        job = track(detector)
+        detector.deliver(TaskStart(job_id=job, hostname="n1"))
+        detector.deliver(
+            ExceptionNotice(
+                job_id=job, hostname="n1", exception=UserException("disk_full")
+            )
+        )
+        exc = outcomes(bus, TASK_EXCEPTION)
+        assert len(exc) == 1
+        assert exc[0].exception.name == "disk_full"
+
+    def test_taskstart_publishes_active(self, detector, bus):
+        job = track(detector)
+        detector.deliver(TaskStart(job_id=job, hostname="n1"))
+        active = outcomes(bus, TASK_ACTIVE)
+        assert len(active) == 1 and active[0].state is TaskState.ACTIVE
+
+    def test_done_before_taskstart_promotes_to_active_first(self, detector, bus):
+        # A submission rejected host-side never sends TaskStart.
+        job = track(detector)
+        detector.deliver(Done(job_id=job, hostname="n1", exit_code=127))
+        assert len(outcomes(bus, TASK_FAILED)) == 1
+
+    def test_checkpoint_flag_recorded_and_reported(self, detector, bus):
+        job = track(detector)
+        detector.deliver(TaskStart(job_id=job, hostname="n1"))
+        detector.deliver(
+            CheckpointNotice(job_id=job, hostname="n1", flag="k3", progress=0.6)
+        )
+        assert detector.checkpoint_flag(job) == "k3"
+        detector.deliver(Done(job_id=job, hostname="n1", exit_code=1))
+        failed = outcomes(bus, TASK_FAILED)
+        assert failed[0].checkpoint_flag == "k3"
+
+    def test_messages_after_terminal_ignored(self, detector, bus):
+        job = track(detector)
+        detector.deliver(TaskStart(job_id=job, hostname="n1"))
+        detector.deliver(Done(job_id=job, hostname="n1", exit_code=1))
+        detector.deliver(TaskEnd(job_id=job, hostname="n1"))  # late
+        detector.deliver(Done(job_id=job, hostname="n1"))  # duplicate
+        assert len(outcomes(bus, TASK_FAILED)) == 1
+        assert outcomes(bus, TASK_DONE) == []
+
+    def test_unknown_job_messages_ignored(self, detector, bus):
+        detector.deliver(Done(job_id="ghost", hostname="n1"))
+        assert outcomes(bus, TASK_FAILED) == []
+
+
+class TestRegistration:
+    def test_double_track_rejected(self, detector):
+        track(detector)
+        with pytest.raises(DetectionError):
+            detector.track("j1", "act", "n1")
+
+    def test_forget_stops_tracking(self, detector, bus):
+        job = track(detector)
+        detector.forget(job)
+        detector.deliver(Done(job_id=job, hostname="n1"))
+        assert outcomes(bus, TASK_FAILED) == []
+        assert detector.state_of(job) is None
+
+    def test_submission_rejected_fails_without_tracking_first(self, detector, bus):
+        detector.submission_rejected("jx", "act", "n1", reason="host-down")
+        failed = outcomes(bus, TASK_FAILED)
+        assert failed and failed[0].reason == "host-down"
+
+    def test_attempt_log_records_messages(self, detector):
+        job = track(detector)
+        detector.deliver(TaskStart(job_id=job, hostname="n1"))
+        detector.deliver(Done(job_id=job, hostname="n1"))
+        assert len(detector.attempt_log(job)) == 2
+
+
+class TestHostSuspicionIntegration:
+    def test_suspected_host_fails_its_attempts(self, reactor, kernel, bus):
+        detector = FailureDetector(reactor, bus, heartbeat_timeout=5.0)
+        detector.start()
+        detector.track("j1", "act", "flaky-host")
+        detector.deliver(TaskStart(job_id="j1", hostname="flaky-host"))
+        detector.deliver(Heartbeat(hostname="flaky-host", seq=0))
+        kernel.run_until(20.0)  # silence > timeout
+        failed = outcomes(bus, TASK_FAILED)
+        assert failed and failed[0].reason == "host-suspected"
+        detector.stop()
+
+    def test_attempts_on_other_hosts_unaffected(self, reactor, kernel, bus):
+        detector = FailureDetector(reactor, bus, heartbeat_timeout=5.0)
+        detector.start()
+        detector.track("j1", "a", "dead")
+        detector.track("j2", "b", "alive")
+        detector.deliver(Heartbeat(hostname="dead", seq=0))
+
+        def keep_beating(seq=[0]):
+            detector.deliver(Heartbeat(hostname="alive", seq=seq[0]))
+            seq[0] += 1
+            reactor.call_later(1.0, keep_beating)
+
+        keep_beating()
+        kernel.run_until(20.0)
+        failed = outcomes(bus, TASK_FAILED)
+        assert [o.job_id for o in failed] == ["j1"]
+        detector.stop()

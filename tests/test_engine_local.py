@@ -1,0 +1,229 @@
+"""Engine tests over the LocalExecutor: real Python callables, wall time.
+
+These prove the same engine code runs outside the simulation: task bodies
+use the task-side notification API, crashes are real exceptions, and
+checkpoints live in a real file store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FailurePolicy, UserException
+from repro.detection.api import TaskFailedSignal, UserExceptionSignal
+from repro.engine import LocalExecutor, NodeStatus, WorkflowEngine, WorkflowStatus
+from repro.reactor import RealTimeReactor
+from repro.wpdl import JoinMode, WorkflowBuilder
+
+
+@pytest.fixture
+def rt():
+    return RealTimeReactor()
+
+
+@pytest.fixture
+def executor(rt):
+    return LocalExecutor(rt)
+
+
+def run(workflow, executor, rt, timeout=30.0):
+    engine = WorkflowEngine(workflow, executor, reactor=rt)
+    return engine.run(timeout=timeout)
+
+
+class TestHappyPath:
+    def test_single_callable_task(self, executor, rt):
+        executor.register("add", lambda ctx, a=0, b=0: a + b)
+        wf = (
+            WorkflowBuilder("w")
+            .program("add", hosts=["localhost"])
+            .activity(
+                "sum",
+                implement="add",
+                inputs=[],
+            )
+            .build()
+        )
+        result = run(wf, executor, rt)
+        assert result.succeeded
+        assert result.variables["sum"] == 0
+
+    def test_arguments_passed_from_inputs(self, executor, rt):
+        from repro.wpdl import Parameter
+
+        executor.register("add", lambda ctx, a, b: a + b)
+        wf = (
+            WorkflowBuilder("w")
+            .program("add", hosts=["localhost"])
+            .activity(
+                "sum",
+                implement="add",
+                inputs=[Parameter("a", value=2), Parameter("b", value=3)],
+            )
+            .build()
+        )
+        result = run(wf, executor, rt)
+        assert result.variables["sum"] == 5
+
+    def test_pipeline_with_value_dependency(self, executor, rt):
+        from repro.wpdl import Parameter
+
+        executor.register("produce", lambda ctx: {"n": 21})
+        executor.register("double", lambda ctx, n: n * 2)
+        wf = (
+            WorkflowBuilder("w")
+            .program("produce", hosts=["localhost"])
+            .program("double", hosts=["localhost"])
+            .activity("p", implement="produce", outputs=["n"])
+            .activity("d", implement="double", inputs=[Parameter("n", ref="n")])
+            .transition("p", "d")
+            .build()
+        )
+        result = run(wf, executor, rt)
+        assert result.variables["d"] == 42
+
+
+class TestFailures:
+    def test_python_exception_is_task_crash(self, executor, rt):
+        def boom(ctx):
+            raise RuntimeError("bug in task")
+
+        executor.register("boom", boom)
+        wf = (
+            WorkflowBuilder("w")
+            .program("boom", hosts=["localhost"])
+            .activity("t", implement="boom")
+            .build()
+        )
+        result = run(wf, executor, rt)
+        assert result.status is WorkflowStatus.FAILED
+        assert any("bug in task" in tb for tb in executor.crash_tracebacks.values())
+
+    def test_retry_eventually_succeeds(self, executor, rt):
+        attempts = {"n": 0}
+
+        def flaky(ctx):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise TaskFailedSignal("still warming up")
+            return "ready"
+
+        executor.register("flaky", flaky)
+        wf = (
+            WorkflowBuilder("w")
+            .program("flaky", hosts=["localhost"])
+            .activity("t", implement="flaky", policy=FailurePolicy.retrying(5))
+            .build()
+        )
+        result = run(wf, executor, rt)
+        assert result.succeeded
+        assert attempts["n"] == 3
+        assert result.tries["t"] == 3
+
+    def test_user_exception_routed_to_handler(self, executor, rt):
+        def fast(ctx):
+            ctx.raise_exception("disk_full", "tmp is full")
+
+        executor.register("fast", fast)
+        executor.register("slow", lambda ctx: "slow-result")
+        wf = (
+            WorkflowBuilder("w")
+            .program("fast", hosts=["localhost"])
+            .program("slow", hosts=["localhost"])
+            .activity("FU", implement="fast")
+            .activity("SR", implement="slow")
+            .dummy("DJ", join=JoinMode.OR)
+            .transition("FU", "DJ")
+            .on_exception("FU", "disk_full", "SR")
+            .transition("SR", "DJ")
+            .build()
+        )
+        result = run(wf, executor, rt)
+        assert result.succeeded
+        assert result.node_statuses["FU"] is NodeStatus.EXCEPTION
+        assert result.variables["SR"] == "slow-result"
+
+    def test_raising_signal_directly_with_exception_object(self, executor, rt):
+        def fast(ctx):
+            exc = UserException("oom", "out of memory")
+            ctx.send_exception(exc)
+            raise UserExceptionSignal(exc)
+
+        executor.register("fast", fast)
+        wf = (
+            WorkflowBuilder("w")
+            .program("fast", hosts=["localhost"])
+            .activity("t", implement="fast")
+            .build()
+        )
+        result = run(wf, executor, rt)
+        assert result.status is WorkflowStatus.FAILED
+        assert result.node_statuses["t"] is NodeStatus.EXCEPTION
+
+    def test_unregistered_executable_fails(self, executor, rt):
+        wf = (
+            WorkflowBuilder("w")
+            .program("ghost", hosts=["localhost"])
+            .activity("t", implement="ghost")
+            .build()
+        )
+        result = run(wf, executor, rt)
+        assert result.status is WorkflowStatus.FAILED
+
+
+class TestCheckpointing:
+    def test_checkpoint_resume_with_file_store(self, rt, tmp_path):
+        from repro.ckpt.store import FileCheckpointStore
+
+        executor = LocalExecutor(rt, store=FileCheckpointStore(tmp_path))
+        progress_log = []
+
+        def long_job(ctx, steps=4):
+            start = 0
+            if ctx.resuming:
+                start = ctx.store.load(ctx.checkpoint_flag)["step"]
+            for step in range(start, steps):
+                progress_log.append(step)
+                key = f"long@{ctx.job_id}@{step}"
+                ctx.store.save(key, {"step": step + 1})
+                ctx.task_checkpoint(key, progress=(step + 1) / steps)
+                if step == 1 and not ctx.resuming:
+                    raise TaskFailedSignal("crash after step 1")
+            return "complete"
+
+        executor.register("long", long_job)
+        wf = (
+            WorkflowBuilder("w")
+            .program("long", hosts=["localhost"])
+            .activity("t", implement="long", policy=FailurePolicy.retrying(3))
+            .build()
+        )
+        result = WorkflowEngine(wf, executor, reactor=rt).run(timeout=30.0)
+        assert result.succeeded
+        # Steps 0,1 ran, crash; resume continues at 2 (no re-execution).
+        assert progress_log == [0, 1, 2, 3]
+        assert result.variables["t"] == "complete"
+
+
+class TestParallelism:
+    def test_parallel_branches_actually_overlap(self, executor, rt):
+        import time
+
+        executor.register("sleep", lambda ctx: time.sleep(0.15))
+        wf = (
+            WorkflowBuilder("w")
+            .program("sleep", hosts=["localhost"])
+            .dummy("split")
+            .activity("x", implement="sleep")
+            .activity("y", implement="sleep")
+            .activity("z", implement="sleep")
+            .dummy("join")
+            .fan_out("split", "x", "y", "z")
+            .fan_in("join", "x", "y", "z")
+            .build()
+        )
+        start = rt.now()
+        result = run(wf, executor, rt)
+        elapsed = rt.now() - start
+        assert result.succeeded
+        assert elapsed < 0.4  # three 0.15s sleeps overlapped

@@ -1,0 +1,176 @@
+"""Engine checkpointing and restart tests (Section 7's engine fault
+tolerance): the engine saves the instance tree after every task termination
+and resumes navigation from the saved state."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import single_task_workflow
+from repro.core import FailurePolicy
+from repro.engine import (
+    EngineCheckpointer,
+    NodeStatus,
+    WorkflowEngine,
+    WorkflowStatus,
+    load_checkpoint,
+)
+from repro.engine.checkpoint import EngineCheckpointer as Checkpointer
+from repro.errors import CheckpointError
+from repro.grid import (
+    RELIABLE,
+    CrashingTask,
+    FixedDurationTask,
+    GridConfig,
+    SimulatedGrid,
+)
+from repro.wpdl import WorkflowBuilder
+
+
+def chain_workflow():
+    return (
+        WorkflowBuilder("chain")
+        .program("step", hosts=["h1"])
+        .activity("a", implement="step", policy=FailurePolicy.retrying(3))
+        .activity("b", implement="step")
+        .activity("c", implement="step")
+        .sequence("a", "b", "c")
+        .build()
+    )
+
+
+def fresh_grid():
+    grid = SimulatedGrid(config=GridConfig(heartbeats=False))
+    grid.add_host(RELIABLE("h1"))
+    grid.install("h1", "step", FixedDurationTask(10.0, result="ok"))
+    return grid
+
+
+class TestCheckpointCadence:
+    def test_saved_after_every_task_termination(self, tmp_path):
+        grid = fresh_grid()
+        ckpt = EngineCheckpointer(tmp_path / "engine.ckpt")
+        engine = WorkflowEngine(
+            chain_workflow(), grid, reactor=grid.reactor, checkpointer=ckpt
+        )
+        result = engine.run(timeout=1e6)
+        assert result.succeeded
+        assert ckpt.saves == 3  # one per task termination
+        assert ckpt.exists()
+
+    def test_checkpoint_contains_progress(self, tmp_path):
+        grid = fresh_grid()
+        path = tmp_path / "engine.ckpt"
+        engine = WorkflowEngine(
+            chain_workflow(),
+            grid,
+            reactor=grid.reactor,
+            checkpointer=EngineCheckpointer(path),
+        )
+        engine.start()
+        # Stop mid-workflow: run only until task "a" finished (t=10).
+        grid.kernel.run_until(12.0)
+        spec, instance = load_checkpoint(path)
+        assert spec.name == "chain"
+        assert instance.node("a").status is NodeStatus.DONE
+        # "b" was RUNNING at save time; the loader resets it for re-launch.
+        assert instance.node("b").status is NodeStatus.PENDING
+        assert instance.node("c").status is NodeStatus.PENDING
+
+
+class TestResume:
+    def test_resume_completes_remaining_work_only(self, tmp_path):
+        path = tmp_path / "engine.ckpt"
+        grid1 = fresh_grid()
+        engine1 = WorkflowEngine(
+            chain_workflow(),
+            grid1,
+            reactor=grid1.reactor,
+            checkpointer=EngineCheckpointer(path),
+        )
+        engine1.start()
+        grid1.kernel.run_until(12.0)  # a done, b in flight; engine "dies"
+
+        grid2 = fresh_grid()
+        engine2 = WorkflowEngine.resume(
+            str(path), grid2, reactor=grid2.reactor
+        )
+        result = engine2.run(timeout=1e6)
+        assert result.succeeded
+        # Only b and c run in the new engine's timeline: 20 virtual seconds.
+        assert result.completion_time == pytest.approx(20.0)
+        assert result.variables["a"] == "ok"  # carried over in variables
+
+    def test_resume_preserves_retry_budget(self, tmp_path):
+        path = tmp_path / "engine.ckpt"
+        wf = single_task_workflow(policy=FailurePolicy.retrying(3))
+
+        grid1 = SimulatedGrid(config=GridConfig(heartbeats=False))
+        grid1.add_host(RELIABLE("h1"))
+        grid1.install(
+            "h1", "task", CrashingTask(duration=30.0, crash_at=5.0, crashes=None)
+        )
+        engine1 = WorkflowEngine(
+            wf, grid1, reactor=grid1.reactor,
+            checkpointer=EngineCheckpointer(path),
+        )
+        engine1.start()
+        grid1.kernel.run_until(7.0)  # first try crashed (budget: 1 used)...
+        engine1._checkpoint()  # ...engine dies right after recording it
+
+        grid2 = SimulatedGrid(config=GridConfig(heartbeats=False))
+        grid2.add_host(RELIABLE("h1"))
+        grid2.install(
+            "h1", "task", CrashingTask(duration=30.0, crash_at=5.0, crashes=None)
+        )
+        engine2 = WorkflowEngine.resume(str(path), grid2, reactor=grid2.reactor)
+        result = engine2.run(timeout=1e6)
+        assert result.status is WorkflowStatus.FAILED
+        # Fresh grid counts attempts from 1 again, but the *budget* carries:
+        # only 3 total tries ever happen (1 before + 2 after the restart).
+        assert result.tries["task"] == 3
+
+    def test_resume_after_success_is_terminal_noop(self, tmp_path):
+        path = tmp_path / "engine.ckpt"
+        grid1 = fresh_grid()
+        WorkflowEngine(
+            chain_workflow(), grid1, reactor=grid1.reactor,
+            checkpointer=EngineCheckpointer(path),
+        ).run(timeout=1e6)
+
+        grid2 = fresh_grid()
+        engine2 = WorkflowEngine.resume(str(path), grid2, reactor=grid2.reactor)
+        result = engine2.run(timeout=1e6)
+        assert result.succeeded
+        assert result.completion_time == pytest.approx(0.0)  # nothing re-ran
+        assert grid2.gram.submitted_count == 0
+
+
+class TestCheckpointFileFormat:
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "missing.ckpt")
+
+    def test_load_corrupt_xml(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("<EngineCheckpoint><unclosed>")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_load_wrong_root(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("<NotACheckpoint/>")
+        with pytest.raises(CheckpointError, match="not an engine checkpoint"):
+            load_checkpoint(path)
+
+    def test_load_incomplete_structure(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("<EngineCheckpoint><Specification/></EngineCheckpoint>")
+        with pytest.raises(CheckpointError, match="incomplete"):
+            load_checkpoint(path)
+
+    def test_remove_is_idempotent(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "x.ckpt")
+        ckpt.remove()
+        ckpt.remove()
+        assert not ckpt.exists()

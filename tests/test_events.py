@@ -1,0 +1,136 @@
+"""Unit tests for the synchronous pub/sub event bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import EventBus
+
+
+class TestSubscribe:
+    def test_exact_topic_delivery(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("task.done", lambda t, p: seen.append((t, p)))
+        delivered = bus.publish("task.done", 42)
+        assert delivered == 1
+        assert seen == [("task.done", 42)]
+
+    def test_non_matching_topic_not_delivered(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("task.done", lambda t, p: seen.append(p))
+        assert bus.publish("task.failed", 1) == 0
+        assert seen == []
+
+    def test_wildcard_pattern_matches_hierarchy(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("task.*", lambda t, p: seen.append(t))
+        bus.publish("task.done", None)
+        bus.publish("task.failed", None)
+        bus.publish("host.crashed", None)
+        assert seen == ["task.done", "task.failed"]
+
+    def test_multiple_subscribers_in_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("x", lambda t, p: order.append("a"))
+        bus.subscribe("x", lambda t, p: order.append("b"))
+        bus.publish("x", None)
+        assert order == ["a", "b"]
+
+    def test_exact_and_pattern_both_fire(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a.b", lambda t, p: seen.append("exact"))
+        bus.subscribe("a.*", lambda t, p: seen.append("pattern"))
+        assert bus.publish("a.b", None) == 2
+        assert set(seen) == {"exact", "pattern"}
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe("x", lambda t, p: seen.append(p))
+        bus.publish("x", 1)
+        bus.unsubscribe(sub)
+        bus.publish("x", 2)
+        assert seen == [1]
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        sub = bus.subscribe("x", lambda t, p: None)
+        bus.unsubscribe(sub)
+        bus.unsubscribe(sub)  # no error
+
+    def test_unsubscribe_pattern_subscription(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe("a.*", lambda t, p: seen.append(p))
+        bus.unsubscribe(sub)
+        bus.publish("a.b", 1)
+        assert seen == []
+
+    def test_handler_may_unsubscribe_itself_during_delivery(self):
+        bus = EventBus()
+        seen = []
+        subs = {}
+
+        def once(t, p):
+            seen.append(p)
+            bus.unsubscribe(subs["once"])
+
+        subs["once"] = bus.subscribe("x", once)
+        bus.publish("x", 1)
+        bus.publish("x", 2)
+        assert seen == [1]
+
+    def test_two_handlers_same_pattern_independent(self):
+        bus = EventBus()
+        seen = []
+        s1 = bus.subscribe("p.*", lambda t, p: seen.append("one"))
+        bus.subscribe("p.*", lambda t, p: seen.append("two"))
+        bus.unsubscribe(s1)
+        bus.publish("p.q", None)
+        assert seen == ["two"]
+
+
+class TestRecursivePublish:
+    def test_handler_may_publish(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("first", lambda t, p: bus.publish("second", p + 1))
+        bus.subscribe("second", lambda t, p: seen.append(p))
+        bus.publish("first", 1)
+        assert seen == [2]
+
+
+class TestHistory:
+    def test_history_disabled_by_default(self):
+        bus = EventBus()
+        bus.publish("x", 1)
+        assert bus.history == []
+
+    def test_history_records_topic_payload_and_sequence(self):
+        bus = EventBus()
+        bus.enable_history()
+        bus.publish("a", 1)
+        bus.publish("b", 2)
+        assert [(r.topic, r.payload) for r in bus.history] == [("a", 1), ("b", 2)]
+        assert bus.history[0].seq < bus.history[1].seq
+
+    def test_clear_history(self):
+        bus = EventBus()
+        bus.enable_history()
+        bus.publish("a", 1)
+        bus.clear_history()
+        assert bus.history == []
+
+    def test_enable_history_twice_keeps_records(self):
+        bus = EventBus()
+        bus.enable_history()
+        bus.publish("a", 1)
+        bus.enable_history()
+        assert len(bus.history) == 1

@@ -1,0 +1,260 @@
+"""Unit tests for the GRAM-style submission service on the simulated grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.messages import (
+    CheckpointNotice,
+    Done,
+    ExceptionNotice,
+    TaskEnd,
+    TaskStart,
+)
+from repro.errors import GridError
+from repro.execution import SubmitRequest
+from repro.grid import (
+    RELIABLE,
+    CheckpointingTask,
+    CrashingTask,
+    ExceptionProneTask,
+    FixedDurationTask,
+    GridConfig,
+    SimulatedGrid,
+)
+
+
+@pytest.fixture
+def grid():
+    g = SimulatedGrid(config=GridConfig(heartbeats=False))
+    g.add_host(RELIABLE("n1"))
+    return g
+
+
+def collect(grid):
+    seen = []
+    grid.connect(seen.append)
+    return seen
+
+
+def req(**kwargs):
+    defaults = dict(activity="act", executable="task", hostname="n1")
+    defaults.update(kwargs)
+    return SubmitRequest(**defaults)
+
+
+class TestHappyPath:
+    def test_successful_job_message_sequence(self, grid):
+        seen = collect(grid)
+        grid.install("n1", "task", FixedDurationTask(10.0, result=5))
+        job = grid.submit(req())
+        grid.run()
+        kinds = [type(m).__name__ for m in seen]
+        assert kinds == ["TaskStart", "TaskEnd", "Done"]
+        assert seen[1].result == 5
+        assert seen[2].exit_code == 0
+        assert all(m.job_id == job for m in seen)
+
+    def test_task_end_time_scales_with_host_speed(self):
+        grid = SimulatedGrid(config=GridConfig(heartbeats=False))
+        grid.add_host(RELIABLE("fast", speed=2.0))
+        grid.install("fast", "task", FixedDurationTask(10.0))
+        seen = collect(grid)
+        grid.submit(req(hostname="fast"))
+        grid.run()
+        done = [m for m in seen if isinstance(m, Done)][0]
+        assert done.sent_at == pytest.approx(5.0)
+
+    def test_job_record_status_transitions(self, grid):
+        grid.install("n1", "task", FixedDurationTask(10.0))
+        job = grid.submit(req())
+        assert grid.gram.job(job).status == "running"
+        grid.run()
+        assert grid.gram.job(job).status == "finished"
+
+
+class TestFailures:
+    def test_unknown_executable_gets_exit_127(self, grid):
+        seen = collect(grid)
+        grid.submit(req(executable="missing"))
+        grid.run()
+        assert len(seen) == 1
+        assert isinstance(seen[0], Done) and seen[0].exit_code == 127
+
+    def test_unknown_host_raises(self, grid):
+        with pytest.raises(GridError, match="unknown host"):
+            grid.submit(req(hostname="ghost"))
+
+    def test_crashing_task_done_without_taskend(self, grid):
+        seen = collect(grid)
+        grid.install("n1", "task", CrashingTask(duration=10.0, crash_at=3.0))
+        grid.submit(req())
+        grid.run()
+        kinds = [type(m).__name__ for m in seen]
+        assert kinds == ["TaskStart", "Done"]
+        assert seen[1].exit_code != 0
+
+    def test_exception_task_sends_notice_then_abnormal_done(self, grid):
+        seen = collect(grid)
+        grid.install(
+            "n1", "task", ExceptionProneTask(duration=30.0, checks=5, probability=1.0)
+        )
+        grid.submit(req())
+        grid.run()
+        kinds = [type(m).__name__ for m in seen]
+        assert kinds == ["TaskStart", "ExceptionNotice", "Done"]
+        assert seen[1].exception.name == "disk_full"
+
+
+class TestHostCrashInteraction:
+    def test_prompt_crash_detection_synthesises_done(self, grid):
+        seen = collect(grid)
+        grid.install("n1", "task", FixedDurationTask(100.0))
+        grid.submit(req())
+        grid.kernel.schedule(10.0, grid.host("n1").crash)
+        grid.kernel.run_until(20.0)
+        dones = [m for m in seen if isinstance(m, Done)]
+        assert len(dones) == 1
+        assert dones[0].host_crashed
+        assert dones[0].sent_at == pytest.approx(10.0)
+
+    def test_heartbeat_mode_synthesises_nothing_while_down(self):
+        grid = SimulatedGrid(
+            config=GridConfig(heartbeats=False, crash_detection="heartbeat")
+        )
+        grid.add_host(RELIABLE("n1"))
+        grid.install("n1", "task", FixedDurationTask(100.0))
+        seen = collect(grid)
+        grid.submit(req())
+        grid.kernel.schedule(
+            10.0, lambda: grid.host("n1").crash(schedule_recovery=False)
+        )
+        grid.kernel.run_until(50.0)
+        # Nothing crosses the wire while the host is down — the client can
+        # only notice the silence (heartbeat monitor territory).
+        assert [type(m).__name__ for m in seen] == ["TaskStart"]
+
+    def test_heartbeat_mode_reports_orphan_on_recovery(self):
+        grid = SimulatedGrid(
+            config=GridConfig(heartbeats=False, crash_detection="heartbeat")
+        )
+        grid.add_host(RELIABLE("n1"))
+        grid.install("n1", "task", FixedDurationTask(100.0))
+        seen = collect(grid)
+        grid.submit(req())
+        grid.kernel.schedule(
+            10.0, lambda: grid.host("n1").crash(schedule_recovery=False)
+        )
+        grid.kernel.schedule(25.0, grid.host("n1").recover)
+        grid.kernel.run_until(50.0)
+        # The restarted job manager reports the orphaned job.
+        dones = [m for m in seen if isinstance(m, Done)]
+        assert len(dones) == 1
+        assert dones[0].host_crashed
+        assert dones[0].sent_at == pytest.approx(25.0)
+
+    def test_queued_submission_starts_after_recovery(self, grid):
+        seen = collect(grid)
+        grid.install("n1", "task", FixedDurationTask(10.0))
+        host = grid.host("n1")
+        host.crash(schedule_recovery=False)
+        job = grid.submit(req(queue_when_down=True))
+        assert grid.gram.job(job).status == "queued"
+        grid.kernel.schedule(5.0, host.recover)
+        grid.run()
+        starts = [m for m in seen if isinstance(m, TaskStart)]
+        assert starts and starts[0].sent_at == pytest.approx(5.0)
+        ends = [m for m in seen if isinstance(m, TaskEnd)]
+        assert ends and ends[0].sent_at == pytest.approx(15.0)
+
+    def test_rejected_when_not_queueing(self, grid):
+        seen = collect(grid)
+        grid.install("n1", "task", FixedDurationTask(10.0))
+        grid.host("n1").crash(schedule_recovery=False)
+        grid.submit(req(queue_when_down=False))
+        grid.run()
+        dones = [m for m in seen if isinstance(m, Done)]
+        assert dones and dones[0].exit_code == 75
+
+
+class TestCheckpointFlow:
+    def test_checkpoint_notices_and_store_writes(self, grid):
+        seen = collect(grid)
+        grid.install(
+            "n1",
+            "task",
+            CheckpointingTask(duration=10.0, checkpoints=2, overhead=0.5),
+        )
+        grid.submit(req())
+        grid.run()
+        notices = [m for m in seen if isinstance(m, CheckpointNotice)]
+        assert len(notices) == 2
+        # The flags are live store keys.
+        state = grid.store.load(notices[-1].flag)
+        assert state == {"segments_done": 2}
+
+    def test_resubmission_with_flag_resumes(self, grid):
+        seen = collect(grid)
+        grid.install(
+            "n1",
+            "task",
+            CheckpointingTask(duration=10.0, checkpoints=2, overhead=0.0,
+                              recovery_time=1.0),
+        )
+        grid.submit(req())
+        grid.run()
+        flag = [m for m in seen if isinstance(m, CheckpointNotice)][0].flag
+        seen.clear()
+        grid.submit(req(checkpoint_flag=flag))
+        grid.run()
+        end = [m for m in seen if isinstance(m, TaskEnd)][0]
+        # Resume: R(1.0) + one remaining segment (5.0).
+        start_time = [m for m in seen if isinstance(m, TaskStart)][0].sent_at
+        assert end.sent_at - start_time == pytest.approx(6.0)
+
+    def test_lost_checkpoint_falls_back_to_cold_start(self, grid):
+        seen = collect(grid)
+        grid.install(
+            "n1", "task", CheckpointingTask(duration=10.0, checkpoints=2, overhead=0.0)
+        )
+        grid.submit(req(checkpoint_flag="nonexistent"))
+        grid.run()
+        end = [m for m in seen if isinstance(m, TaskEnd)][0]
+        assert end.sent_at == pytest.approx(10.0)
+
+
+class TestCancel:
+    def test_cancel_suppresses_all_further_messages(self, grid):
+        seen = collect(grid)
+        grid.install("n1", "task", FixedDurationTask(10.0))
+        job = grid.submit(req())
+        grid.kernel.schedule(5.0, lambda: grid.cancel(job))
+        grid.run()
+        assert [type(m).__name__ for m in seen] == ["TaskStart"]
+        assert grid.gram.job(job).status == "cancelled"
+
+    def test_cancel_unknown_job_is_noop(self, grid):
+        grid.cancel("ghost")  # no error
+
+    def test_cancel_queued_job(self, grid):
+        grid.install("n1", "task", FixedDurationTask(10.0))
+        host = grid.host("n1")
+        host.crash(schedule_recovery=False)
+        job = grid.submit(req())
+        grid.cancel(job)
+        host.recover()
+        seen = collect(grid)
+        grid.run()
+        assert seen == []
+
+
+class TestAttemptNumbers:
+    def test_attempts_count_per_activity(self, grid):
+        grid.install("n1", "task", CrashingTask(duration=10.0, crash_at=1.0, crashes=2))
+        seen = collect(grid)
+        for _ in range(3):
+            grid.submit(req())
+            grid.run()
+        # Third attempt succeeds (crashes=2).
+        ends = [m for m in seen if isinstance(m, TaskEnd)]
+        assert len(ends) == 1

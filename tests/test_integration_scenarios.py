@@ -1,0 +1,244 @@
+"""Integration scenarios: multi-stage workflows combining several failure
+handling techniques, mirroring the paper's Section 1 motivating examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FailurePolicy
+from repro.engine import NodeStatus, WorkflowEngine, WorkflowStatus
+from repro.grid import (
+    RELIABLE,
+    UNRELIABLE,
+    CheckpointingTask,
+    CrashingTask,
+    ExceptionProneTask,
+    FixedDurationTask,
+    GridConfig,
+    SimulatedGrid,
+    inject_crash,
+)
+from repro.wpdl import JoinMode, WorkflowBuilder
+
+
+def quiet_grid(seed=42):
+    return SimulatedGrid(seed=seed, config=GridConfig(heartbeats=False))
+
+
+class TestLinearSolverScenario:
+    """Section 1: a linear solver that must converge within a deadline, with
+    out-of-memory handled by switching to a disk-based algorithm."""
+
+    def build(self):
+        return (
+            WorkflowBuilder("solver-pipeline")
+            .program("prepare", hosts=["cluster1"])
+            .program("solve_mem", hosts=["bigmem"])
+            .program("solve_disk", hosts=["cluster1"])
+            .program("report", hosts=["cluster1"])
+            .activity("prepare", implement="prepare")
+            .activity(
+                "solve_fast",
+                implement="solve_mem",
+                policy=FailurePolicy.retrying(2),
+            )
+            # solve_disk is reachable via EITHER the out_of_memory edge or
+            # the generic failed edge, so its join must be OR.
+            .activity("solve_disk", implement="solve_disk", join=JoinMode.OR)
+            .dummy("solved", join=JoinMode.OR)
+            .activity("report", implement="report")
+            .transition("prepare", "solve_fast")
+            .transition("solve_fast", "solved")
+            .on_exception("solve_fast", "out_of_memory", "solve_disk")
+            .on_failure("solve_fast", "solve_disk")
+            .transition("solve_disk", "solved")
+            .transition("solved", "report")
+            .build()
+        )
+
+    def grid(self):
+        grid = quiet_grid()
+        grid.add_host(RELIABLE("cluster1"))
+        grid.add_host(RELIABLE("bigmem"))
+        grid.install("cluster1", "prepare", FixedDurationTask(5.0))
+        grid.install("cluster1", "solve_disk", FixedDurationTask(90.0, result="x"))
+        grid.install("cluster1", "report", FixedDurationTask(2.0))
+        return grid
+
+    def test_memory_path_when_healthy(self):
+        grid = self.grid()
+        grid.install("bigmem", "solve_mem", FixedDurationTask(20.0, result="x"))
+        result = WorkflowEngine(self.build(), grid, reactor=grid.reactor).run()
+        assert result.succeeded
+        assert result.completion_time == pytest.approx(5 + 20 + 2)
+        assert result.node_statuses["solve_disk"] is NodeStatus.SKIPPED_OK
+
+    def test_oom_switches_to_disk_algorithm(self):
+        grid = self.grid()
+        grid.install(
+            "bigmem",
+            "solve_mem",
+            ExceptionProneTask(
+                duration=20.0, checks=2, probability=1.0,
+                exception_name="out_of_memory",
+            ),
+        )
+        result = WorkflowEngine(self.build(), grid, reactor=grid.reactor).run()
+        assert result.succeeded
+        # prepare 5 + OOM at first check (10) + disk solve 90 + report 2.
+        assert result.completion_time == pytest.approx(5 + 10 + 90 + 2)
+        assert result.node_statuses["solve_fast"] is NodeStatus.EXCEPTION
+
+    def test_crash_also_covered_by_failed_edge(self):
+        grid = self.grid()
+        grid.install(
+            "bigmem",
+            "solve_mem",
+            CrashingTask(duration=20.0, crash_at=4.0, crashes=None),
+        )
+        result = WorkflowEngine(self.build(), grid, reactor=grid.reactor).run()
+        assert result.succeeded
+        # prepare 5 + two crash tries (8) + disk 90 + report 2.
+        assert result.completion_time == pytest.approx(5 + 8 + 90 + 2)
+
+
+class TestLongRunningSimulationScenario:
+    """Section 1: a long-running simulation checkpointing periodically on an
+    unreliable volunteer host, while a Condor-style reliable pool runs the
+    post-processing."""
+
+    def test_checkpoints_mask_repeated_host_crashes(self):
+        grid = quiet_grid(seed=7)
+        grid.add_host(UNRELIABLE("volunteer", mttf=40.0, mean_downtime=5.0))
+        grid.add_host(RELIABLE("condor-pool"))
+        grid.install(
+            "volunteer",
+            "simulate",
+            CheckpointingTask(duration=120.0, checkpoints=24, overhead=0.25,
+                              recovery_time=0.25),
+        )
+        grid.install("condor-pool", "analyse", FixedDurationTask(10.0))
+        wf = (
+            WorkflowBuilder("campaign")
+            .program("simulate", hosts=["volunteer"])
+            .program("analyse", hosts=["condor-pool"])
+            .activity(
+                "simulate",
+                implement="simulate",
+                policy=FailurePolicy.retrying(None),
+            )
+            .activity("analyse", implement="analyse")
+            .transition("simulate", "analyse")
+            .build()
+        )
+        result = WorkflowEngine(wf, grid, reactor=grid.reactor).run(timeout=1e7)
+        assert result.succeeded
+        assert result.tries["simulate"] > 1  # crashes actually happened
+        # Checkpointing bounds the cost: a from-scratch strategy would need
+        # E[T] = (mttf+D)(e^{F/mttf} − 1) ≈ 860s; expect far less.
+        assert result.completion_time < 500.0
+
+
+class TestHybridReplicationPipeline:
+    """Replication for a flaky stage + workflow-level redundancy for an
+    algorithm choice, combined in one DAG (Section 6's combinations)."""
+
+    def test_pipeline_survives_everything_thrown_at_it(self):
+        grid = quiet_grid(seed=11)
+        for host in ("w1", "w2", "w3"):
+            grid.add_host(RELIABLE(host))
+        grid.add_host(RELIABLE("fastbox"))
+        grid.add_host(RELIABLE("safebox"))
+        # Replicated extraction stage: two replicas crash forever, one works.
+        grid.install("w1", "extract", CrashingTask(duration=8.0, crash_at=1.0, crashes=None))
+        grid.install("w2", "extract", FixedDurationTask(8.0, result="data"))
+        grid.install("w3", "extract", CrashingTask(duration=8.0, crash_at=2.0, crashes=None))
+        # Redundant transform stage: fast algorithm crashes, safe one works.
+        grid.install("fastbox", "transform_fast", CrashingTask(duration=5.0, crash_at=1.0, crashes=None))
+        grid.install("safebox", "transform_safe", FixedDurationTask(25.0))
+        grid.install("w2", "publish", FixedDurationTask(3.0))
+
+        wf = (
+            WorkflowBuilder("hybrid")
+            .program("extract", hosts=["w1", "w2", "w3"])
+            .program("transform_fast", hosts=["fastbox"])
+            .program("transform_safe", hosts=["safebox"])
+            .program("publish", hosts=["w2"])
+            .activity(
+                "extract",
+                implement="extract",
+                policy=FailurePolicy.replica(max_tries=2),
+            )
+            .activity("t_fast", implement="transform_fast")
+            .activity("t_safe", implement="transform_safe")
+            .dummy("transformed", join=JoinMode.OR)
+            .activity("publish", implement="publish")
+            .fan_out("extract", "t_fast", "t_safe")
+            .fan_in("transformed", "t_fast", "t_safe")
+            .transition("transformed", "publish")
+            .build()
+        )
+        result = WorkflowEngine(wf, grid, reactor=grid.reactor).run(timeout=1e7)
+        assert result.succeeded
+        # extract 8 (winning replica) + safe transform 25 + publish 3.
+        assert result.completion_time == pytest.approx(36.0)
+        assert result.node_statuses["t_fast"] is NodeStatus.FAILED
+
+    def test_workflow_failure_reports_all_failed_tasks(self):
+        grid = quiet_grid()
+        grid.add_host(RELIABLE("h"))
+        grid.install("h", "a", CrashingTask(duration=5.0, crash_at=1.0, crashes=None))
+        grid.install("h", "b", FixedDurationTask(5.0))
+        wf = (
+            WorkflowBuilder("fails")
+            .program("a", hosts=["h"])
+            .program("b", hosts=["h"])
+            .activity("first", implement="a", policy=FailurePolicy.retrying(2))
+            .activity("second", implement="b")
+            .transition("first", "second")
+            .build()
+        )
+        result = WorkflowEngine(wf, grid, reactor=grid.reactor).run()
+        assert result.status is WorkflowStatus.FAILED
+        assert result.failed_tasks == ("first",)
+        assert result.node_statuses["second"] is NodeStatus.SKIPPED_ERROR
+
+
+class TestHeartbeatDetectionEndToEnd:
+    """Realistic detection path: no prompt crash notification — the engine
+    only learns of the crash when heartbeats stop."""
+
+    def test_heartbeat_timeout_drives_recovery(self):
+        grid = SimulatedGrid(
+            seed=3,
+            config=GridConfig(crash_detection="heartbeat", heartbeats=True),
+        )
+        grid.add_host(RELIABLE("flaky", heartbeat_period=1.0))
+        grid.add_host(RELIABLE("backup", heartbeat_period=1.0))
+        grid.install("flaky", "work", FixedDurationTask(50.0))
+        grid.install("backup", "work", FixedDurationTask(50.0))
+        inject_crash(grid.kernel, grid.host("flaky"), at=10.0, duration=1000.0)
+        wf = (
+            WorkflowBuilder("hb")
+            .program("work", hosts=["flaky", "backup"])
+            .activity(
+                "work",
+                implement="work",
+                policy=FailurePolicy.retrying(
+                    None,
+                    resource_selection=__import__(
+                        "repro.core.policy", fromlist=["ResourceSelection"]
+                    ).ResourceSelection.ROTATE,
+                ),
+            )
+            .build()
+        )
+        engine = WorkflowEngine(
+            wf, grid, reactor=grid.reactor, heartbeat_timeout=5.0
+        )
+        result = engine.run(timeout=1e6)
+        assert result.succeeded
+        # Crash at 10 + detection within timeout+sweep (≤ ~7.5s) + rerun 50
+        # on the rotated-to backup host.
+        assert 60.0 <= result.completion_time <= 70.0
+        assert result.tries["work"] == 2

@@ -1,0 +1,66 @@
+"""Unit tests for detection-service message types and wire format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import UserException
+from repro.detection.messages import (
+    CheckpointNotice,
+    Done,
+    ExceptionNotice,
+    Heartbeat,
+    TaskEnd,
+    TaskStart,
+    decode,
+    encode,
+)
+from repro.errors import DetectionError
+
+ALL_MESSAGES = [
+    Heartbeat(sent_at=1.0, hostname="n1", seq=7),
+    TaskStart(sent_at=2.0, job_id="j1", hostname="n1"),
+    TaskEnd(sent_at=3.0, job_id="j1", hostname="n1", result={"sum": 42}),
+    ExceptionNotice(
+        sent_at=4.0,
+        job_id="j1",
+        hostname="n1",
+        exception=UserException("disk_full", "no space", data={"free_gb": 0.1}),
+    ),
+    CheckpointNotice(sent_at=5.0, job_id="j1", hostname="n1", flag="k1", progress=0.5),
+    Done(sent_at=6.0, job_id="j1", hostname="n1", exit_code=137, host_crashed=True),
+]
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: m.kind)
+    def test_encode_decode_roundtrip(self, msg):
+        assert decode(encode(msg)) == msg
+
+    def test_encode_includes_kind_discriminator(self):
+        payload = encode(Done(job_id="j"))
+        assert payload["kind"] == "done"
+
+    def test_decode_unknown_kind_rejected(self):
+        with pytest.raises(DetectionError, match="unknown message kind"):
+            decode({"kind": "bogus"})
+
+    def test_exception_payload_structure(self):
+        payload = encode(ALL_MESSAGES[3])
+        assert payload["exception"]["name"] == "disk_full"
+        assert payload["exception"]["data"] == {"free_gb": 0.1}
+
+    def test_messages_are_frozen(self):
+        msg = Done(job_id="j")
+        with pytest.raises(Exception):
+            msg.exit_code = 1  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_heartbeat_requires_hostname(self):
+        with pytest.raises(DetectionError):
+            Heartbeat(seq=1)
+
+    def test_done_defaults_clean_exit(self):
+        msg = Done(job_id="j")
+        assert msg.exit_code == 0 and not msg.host_crashed

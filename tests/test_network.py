@@ -1,0 +1,121 @@
+"""Unit tests for the simulated host→client network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.messages import Done, Heartbeat
+from repro.grid.network import Network
+from repro.grid.random import RandomStreams
+
+
+@pytest.fixture
+def net(kernel):
+    return Network(kernel, RandomStreams(seed=3))
+
+
+class TestDelivery:
+    def test_messages_reach_the_sink(self, kernel, net):
+        seen = []
+        net.connect(seen.append)
+        net.send("n1", Heartbeat(hostname="n1", seq=0))
+        kernel.run()
+        assert len(seen) == 1
+        assert net.stats.delivered == 1
+
+    def test_no_sink_counts_drop(self, kernel, net):
+        net.send("n1", Heartbeat(hostname="n1", seq=0))
+        kernel.run()
+        assert net.stats.dropped_no_sink == 1
+
+    def test_latency_delays_delivery(self, kernel):
+        net = Network(kernel, RandomStreams(seed=3), latency=2.0)
+        arrivals = []
+        net.connect(lambda m: arrivals.append(kernel.now()))
+        net.send("n1", Heartbeat(hostname="n1", seq=0))
+        kernel.run()
+        assert arrivals == [2.0]
+
+    def test_fifo_per_host_under_jitter(self, kernel):
+        net = Network(kernel, RandomStreams(seed=9), jitter=5.0)
+        arrivals = []
+        net.connect(lambda m: arrivals.append(m.seq))
+        for i in range(100):
+            net.send("n1", Heartbeat(hostname="n1", seq=i))
+        kernel.run()
+        assert arrivals == list(range(100))  # TCP-stream ordering
+
+    def test_fifo_is_per_host_not_global(self, kernel):
+        net = Network(kernel, RandomStreams(seed=9), latency=1.0)
+        order = []
+        net.connect(lambda m: order.append(m.hostname))
+        net.send("slowhost", Heartbeat(hostname="slowhost", seq=0))
+        net.send("fasthost", Heartbeat(hostname="fasthost", seq=0))
+        kernel.run()
+        assert set(order) == {"slowhost", "fasthost"}
+
+    def test_jitter_bounded(self, kernel):
+        net = Network(kernel, RandomStreams(seed=3), latency=1.0, jitter=0.5)
+        arrivals = []
+        net.connect(lambda m: arrivals.append(kernel.now()))
+        for i in range(50):
+            net.send("n1", Heartbeat(hostname="n1", seq=i))
+        kernel.run()
+        assert all(1.0 <= t <= 1.5 for t in arrivals)
+        assert len(set(arrivals)) > 1  # actually jittered
+
+    def test_invalid_parameters_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            Network(kernel, RandomStreams(), latency=-1.0)
+        with pytest.raises(ValueError):
+            Network(kernel, RandomStreams(), loss_probability=1.0)
+
+
+class TestPartitions:
+    def test_partitioned_host_messages_dropped(self, kernel, net):
+        seen = []
+        net.connect(seen.append)
+        net.partition("n1")
+        net.send("n1", Heartbeat(hostname="n1", seq=0))
+        kernel.run()
+        assert seen == []
+        assert net.stats.dropped_partition == 1
+
+    def test_heal_restores_delivery(self, kernel, net):
+        seen = []
+        net.connect(seen.append)
+        net.partition("n1")
+        net.send("n1", Heartbeat(hostname="n1", seq=0))
+        net.heal("n1")
+        net.send("n1", Heartbeat(hostname="n1", seq=1))
+        kernel.run()
+        assert [m.seq for m in seen] == [1]
+
+    def test_partition_is_per_host(self, kernel, net):
+        seen = []
+        net.connect(seen.append)
+        net.partition("n1")
+        net.send("n2", Heartbeat(hostname="n2", seq=0))
+        kernel.run()
+        assert len(seen) == 1
+        assert net.is_partitioned("n1") and not net.is_partitioned("n2")
+
+    def test_system_messages_bypass_partition(self, kernel, net):
+        seen = []
+        net.connect(seen.append)
+        net.partition("n1")
+        net.send_system(Done(job_id="j", hostname="n1"))
+        kernel.run()
+        assert len(seen) == 1
+
+
+class TestLoss:
+    def test_loss_probability_drops_some_messages(self, kernel):
+        net = Network(kernel, RandomStreams(seed=3), loss_probability=0.5)
+        seen = []
+        net.connect(seen.append)
+        for i in range(200):
+            net.send("n1", Heartbeat(hostname="n1", seq=i))
+        kernel.run()
+        assert 60 < len(seen) < 140
+        assert net.stats.dropped_loss == 200 - len(seen)

@@ -1,0 +1,93 @@
+"""Unit tests for task-level failure policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.policy import (
+    DEFAULT_POLICY,
+    FailurePolicy,
+    ReplicationMode,
+    ResourceSelection,
+)
+from repro.errors import PolicyError
+
+
+class TestConstruction:
+    def test_default_is_single_attempt(self):
+        assert DEFAULT_POLICY.max_tries == 1
+        assert not DEFAULT_POLICY.retries_enabled
+        assert not DEFAULT_POLICY.replicated
+        assert DEFAULT_POLICY.restart_from_checkpoint
+
+    def test_retrying_constructor_matches_figure2(self):
+        policy = FailurePolicy.retrying(3, interval=10.0)
+        assert policy.max_tries == 3
+        assert policy.interval == 10.0
+        assert policy.retries_enabled
+        assert policy.resource_selection is ResourceSelection.SAME
+
+    def test_replica_constructor_matches_figure3(self):
+        policy = FailurePolicy.replica()
+        assert policy.replicated
+        assert policy.replication is ReplicationMode.REPLICA
+
+    def test_replica_with_retries_section6_combination(self):
+        policy = FailurePolicy.replica(max_tries=3)
+        assert policy.replicated and policy.retries_enabled
+
+    def test_unlimited_retries(self):
+        policy = FailurePolicy.retrying(None)
+        assert policy.unlimited_retries
+        assert policy.retries_enabled
+        assert policy.tries_remaining(10**9) == math.inf
+
+    def test_zero_tries_rejected(self):
+        with pytest.raises(PolicyError):
+            FailurePolicy(max_tries=0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(PolicyError):
+            FailurePolicy(interval=-1.0)
+
+    def test_invalid_enums_rejected(self):
+        with pytest.raises(PolicyError):
+            FailurePolicy(replication="replica")  # must be the enum
+        with pytest.raises(PolicyError):
+            FailurePolicy(resource_selection="same")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_POLICY.max_tries = 5  # type: ignore[misc]
+
+
+class TestTriesAccounting:
+    def test_tries_remaining_counts_down(self):
+        policy = FailurePolicy.retrying(3)
+        assert policy.tries_remaining(0) == 3
+        assert policy.tries_remaining(1) == 2
+        assert policy.tries_remaining(3) == 0
+
+    def test_tries_remaining_never_negative(self):
+        assert FailurePolicy.retrying(2).tries_remaining(5) == 0
+
+
+class TestDescribe:
+    def test_default_description(self):
+        text = FailurePolicy(restart_from_checkpoint=False).describe()
+        assert text == "no task-level recovery"
+
+    def test_retry_description_mentions_limits(self):
+        text = FailurePolicy.retrying(3, interval=10).describe()
+        assert "3" in text and "10" in text and "same" in text
+
+    def test_unlimited_description(self):
+        assert "unlimited" in FailurePolicy.retrying(None).describe()
+
+    def test_replica_description(self):
+        assert "replicate" in FailurePolicy.replica().describe()
+
+    def test_mask_exception_description(self):
+        assert "exception" in FailurePolicy(retry_on_exception=True).describe()

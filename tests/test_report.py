@@ -1,0 +1,112 @@
+"""Tests for execution reports (node table + ASCII Gantt)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import fig4_workflow, run_workflow, two_reliable_hosts
+from repro.cli import main
+from repro.engine import WorkflowEngine
+from repro.grid import CrashingTask, FixedDurationTask
+from repro.report import gantt, node_table, run_report
+
+
+@pytest.fixture
+def finished_instance(quiet_grid):
+    two_reliable_hosts(quiet_grid)
+    quiet_grid.install(
+        "u1", "fast", CrashingTask(duration=30.0, crash_at=10.0, crashes=None)
+    )
+    quiet_grid.install("r1", "slow", FixedDurationTask(150.0))
+    engine = WorkflowEngine(fig4_workflow(), quiet_grid, reactor=quiet_grid.reactor)
+    engine.run(timeout=1e7)
+    return engine.instance
+
+
+class TestNodeTable:
+    def test_lists_every_node_with_status(self, finished_instance):
+        table = node_table(finished_instance)
+        for name in ("FU", "SR", "Join"):
+            assert name in table
+        assert "failed" in table and "done" in table
+
+    def test_durations_and_tries(self, finished_instance):
+        table = node_table(finished_instance)
+        assert "150.00" in table  # SR duration
+        lines = [l for l in table.splitlines() if l.startswith("FU")]
+        assert lines and " 2" in lines[0]  # 2 tries
+
+
+class TestGantt:
+    def test_bars_encode_status(self, finished_instance):
+        chart = gantt(finished_instance)
+        fu_line = next(l for l in chart.splitlines() if l.startswith("FU"))
+        sr_line = next(l for l in chart.splitlines() if l.startswith("SR"))
+        assert "x" in fu_line  # failed bar
+        assert "#" in sr_line  # done bar
+
+    def test_alternative_task_starts_after_failure(self, finished_instance):
+        chart = gantt(finished_instance, width=40)
+        fu_line = next(l for l in chart.splitlines() if l.startswith("FU"))
+        sr_line = next(l for l in chart.splitlines() if l.startswith("SR"))
+        fu_end = fu_line.rindex("x")
+        sr_start = sr_line.index("#")
+        assert sr_start >= fu_end  # SR's bar begins where FU's ends
+
+    def test_empty_instance(self, quiet_grid):
+        from repro.engine.instance import WorkflowInstance
+
+        instance = WorkflowInstance(fig4_workflow())
+        assert "no node ever started" in gantt(instance)
+
+    def test_skipped_nodes_listed_without_bars(self, quiet_grid):
+        two_reliable_hosts(quiet_grid)
+        quiet_grid.install("u1", "fast", FixedDurationTask(30.0))
+        quiet_grid.install("r1", "slow", FixedDurationTask(150.0))
+        engine = WorkflowEngine(
+            fig4_workflow(), quiet_grid, reactor=quiet_grid.reactor
+        )
+        engine.run()
+        chart = gantt(engine.instance)
+        sr_line = next(l for l in chart.splitlines() if l.startswith("SR"))
+        assert "skipped_ok" in sr_line
+        assert "#" not in sr_line
+
+
+class TestRunReport:
+    def test_combines_verdict_table_and_timeline(self, finished_instance):
+        report = run_report(finished_instance)
+        assert "workflow 'fig4': done" in report
+        assert "completion time" in report
+        assert "node" in report and "|" in report
+
+
+class TestCliIntegration:
+    def test_cli_report_flag(self, tmp_path, capsys):
+        import json
+
+        wf = tmp_path / "wf.xml"
+        wf.write_text(
+            "<Workflow name='w'>"
+            "<Activity name='t'><Implement>job</Implement></Activity>"
+            "<Program name='job'><Option hostname='h'/></Program>"
+            "</Workflow>"
+        )
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps(
+                {
+                    "hosts": [{"hostname": "h", "reliable": True}],
+                    "software": [
+                        {
+                            "executable": "job",
+                            "behavior": {"type": "fixed", "duration": 5.0},
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(["run", str(wf), "--grid", str(grid), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "workflow 'w': done" in out
+        assert "|" in out  # the Gantt frame

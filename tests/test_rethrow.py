@@ -1,0 +1,149 @@
+"""Tests for exception translation (<Rethrow>) across all layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FailurePolicy
+from repro.engine import NodeStatus, WorkflowEngine, WorkflowStatus
+from repro.errors import ParseError, SpecificationError
+from repro.grid import (
+    RELIABLE,
+    ExceptionProneTask,
+    FixedDurationTask,
+    GridConfig,
+    SimulatedGrid,
+)
+from repro.wpdl import (
+    JoinMode,
+    Rethrow,
+    WorkflowBuilder,
+    parse_wpdl,
+    serialize_wpdl,
+)
+from repro.wpdl.schema import check_vocabulary
+
+
+def translation_workflow(*rethrows: Rethrow):
+    return (
+        WorkflowBuilder("rethrow")
+        .program("fast", hosts=["u1"])
+        .program("slow", hosts=["r1"])
+        .activity("FU", implement="fast", rethrows=list(rethrows))
+        .activity("SR", implement="slow")
+        .dummy("DJ", join=JoinMode.OR)
+        .transition("FU", "DJ")
+        .on_exception("FU", "disk_full", "SR")
+        .transition("SR", "DJ")
+        .build()
+    )
+
+
+def grid_raising(exception_name: str) -> SimulatedGrid:
+    grid = SimulatedGrid(config=GridConfig(heartbeats=False))
+    grid.add_host(RELIABLE("u1"))
+    grid.add_host(RELIABLE("r1"))
+    grid.install(
+        "u1",
+        "fast",
+        ExceptionProneTask(
+            duration=30.0, checks=5, probability=1.0,
+            exception_name=exception_name,
+        ),
+    )
+    grid.install("r1", "slow", FixedDurationTask(150.0))
+    return grid
+
+
+class TestModel:
+    def test_requires_pattern_and_name(self):
+        with pytest.raises(SpecificationError):
+            Rethrow("", "x")
+        with pytest.raises(SpecificationError):
+            Rethrow("x", "")
+
+    def test_xml_roundtrip(self):
+        wf = translation_workflow(Rethrow("ENOSPC*", "disk_full"))
+        text = serialize_wpdl(wf)
+        assert 'Rethrow on="ENOSPC*" as="disk_full"' in text.replace("'", '"')
+        assert parse_wpdl(text) == wf
+        assert check_vocabulary(text) == []
+
+    def test_parse_requires_both_attributes(self):
+        with pytest.raises(ParseError, match="Rethrow"):
+            parse_wpdl(
+                "<Workflow name='w'><Activity name='a'>"
+                "<Rethrow on='x'/></Activity></Workflow>"
+            )
+
+
+class TestEngineTranslation:
+    def test_translated_exception_reaches_handler(self):
+        wf = translation_workflow(Rethrow("ENOSPC*", "disk_full"))
+        grid = grid_raising("ENOSPC_tmp")
+        result = WorkflowEngine(wf, grid, reactor=grid.reactor).run()
+        assert result.succeeded
+        assert result.node_statuses["FU"] is NodeStatus.EXCEPTION
+        assert result.node_statuses["SR"] is NodeStatus.DONE
+
+    def test_original_name_preserved_in_data(self):
+        wf = translation_workflow(Rethrow("ENOSPC*", "disk_full"))
+        grid = grid_raising("ENOSPC_tmp")
+        engine = WorkflowEngine(wf, grid, reactor=grid.reactor)
+        engine.run()
+        exc = engine.instance.node("FU").exception
+        assert exc.name == "disk_full"
+        assert exc.data["original_exception"] == "ENOSPC_tmp"
+
+    def test_most_specific_translation_wins(self):
+        wf = translation_workflow(
+            Rethrow("ENOSPC*", "disk_full"),
+            Rethrow("ENOSPC_quota", "quota_exceeded"),
+        )
+        grid = grid_raising("ENOSPC_quota")
+        engine = WorkflowEngine(wf, grid, reactor=grid.reactor)
+        result = engine.run()
+        # The exact-name translation beats the glob: quota_exceeded, which
+        # no handler edge catches, so the workflow fails.
+        assert result.status is WorkflowStatus.FAILED
+        assert engine.instance.node("FU").exception.name == "quota_exceeded"
+
+    def test_non_matching_exception_untranslated(self):
+        wf = translation_workflow(Rethrow("ENOSPC*", "disk_full"))
+        grid = grid_raising("oom")
+        result = WorkflowEngine(wf, grid, reactor=grid.reactor).run()
+        assert result.status is WorkflowStatus.FAILED  # oom unhandled
+
+    def test_no_rethrows_passthrough(self):
+        wf = translation_workflow()
+        grid = grid_raising("disk_full")
+        result = WorkflowEngine(wf, grid, reactor=grid.reactor).run()
+        assert result.succeeded
+
+
+class TestMaskedExceptionTranslation:
+    def test_translation_applies_after_masking_budget_exhausted(self):
+        # retry_on_exception masks twice, then the exception escalates and
+        # must still be translated for workflow-level routing.
+        wf = (
+            WorkflowBuilder("masked")
+            .program("fast", hosts=["u1"])
+            .program("slow", hosts=["r1"])
+            .activity(
+                "FU",
+                implement="fast",
+                policy=FailurePolicy(max_tries=2, retry_on_exception=True),
+                rethrows=[Rethrow("ENOSPC*", "disk_full")],
+            )
+            .activity("SR", implement="slow")
+            .dummy("DJ", join=JoinMode.OR)
+            .transition("FU", "DJ")
+            .on_exception("FU", "disk_full", "SR")
+            .transition("SR", "DJ")
+            .build()
+        )
+        grid = grid_raising("ENOSPC_tmp")
+        result = WorkflowEngine(wf, grid, reactor=grid.reactor).run()
+        assert result.succeeded
+        assert result.tries["FU"] == 2
+        assert result.node_statuses["SR"] is NodeStatus.DONE

@@ -1,0 +1,118 @@
+"""Tests for the Figure-13 exception-handling experiment model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.exceptions_model import (
+    ExceptionExperiment,
+    expected_alternative,
+    expected_checkpointing,
+    expected_retrying,
+    sample_alternative,
+    sample_checkpointing,
+    sample_retrying,
+)
+from repro.sim.stats import relative_error
+
+
+class TestClosedForms:
+    def test_p_zero_all_strategies_cost_f(self):
+        assert expected_retrying(0.0) == 30.0
+        assert expected_checkpointing(0.0) == 30.0
+        assert expected_alternative(0.0) == 30.0
+
+    def test_p_one_masking_never_finishes(self):
+        assert math.isinf(expected_retrying(1.0))
+        assert math.isinf(expected_checkpointing(1.0))
+
+    def test_p_one_alternative_is_156(self):
+        # The paper's bound: first check at 6 + SR at 150.
+        assert expected_alternative(1.0) == pytest.approx(156.0)
+
+    def test_alternative_bounded_for_all_p(self):
+        # Bounded for every p (the masking strategies are not).  The exact
+        # supremum is ~158 around p≈0.6 — the curve dips back to 156 at
+        # p=1 because later checks never run once the first one fails.
+        for p in np.linspace(0, 1, 21):
+            assert expected_alternative(float(p)) <= 160.0
+
+    def test_masking_strategies_blow_up_near_one(self):
+        # Figure 13's divergence: at p=0.9 both masking strategies dwarf
+        # the handler.
+        assert expected_retrying(0.9) > 100 * expected_alternative(0.9)
+        assert expected_checkpointing(0.9) > expected_alternative(0.9)
+
+    def test_checkpointing_is_f_over_q(self):
+        assert expected_checkpointing(0.4) == pytest.approx(30.0 / 0.6)
+
+    def test_retrying_grows_faster_than_checkpointing(self):
+        for p in (0.3, 0.6, 0.9):
+            assert expected_retrying(p) > expected_checkpointing(p)
+
+    def test_masking_strategies_monotone_in_p(self):
+        # Only the masking strategies are monotone in p; the handler curve
+        # peaks mid-range (see test_alternative_bounded_for_all_p).
+        for fn in (expected_retrying, expected_checkpointing):
+            values = [fn(p) for p in (0.0, 0.2, 0.4, 0.6, 0.8)]
+            assert values == sorted(values)
+
+    def test_invalid_p(self):
+        with pytest.raises(SimulationError):
+            expected_retrying(1.5)
+
+    def test_custom_experiment_geometry(self):
+        exp = ExceptionExperiment(
+            fast_duration=10.0, checks=2, slow_duration=50.0, join_duration=1.0
+        )
+        # p=1: fail at first check (5) + slow (50) + join (1).
+        assert expected_alternative(1.0, exp) == pytest.approx(56.0)
+
+    def test_experiment_validation(self):
+        with pytest.raises(SimulationError):
+            ExceptionExperiment(fast_duration=0.0)
+        with pytest.raises(SimulationError):
+            ExceptionExperiment(checks=0)
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("p", [0.0, 0.2, 0.5, 0.9, 0.99])
+    def test_retry_sampler_matches_closed_form(self, p):
+        mc = sample_retrying(p, runs=60_000).mean()
+        assert relative_error(mc, expected_retrying(p)) < 0.03
+
+    @pytest.mark.parametrize("p", [0.0, 0.3, 0.7, 0.95])
+    def test_checkpoint_sampler_matches_closed_form(self, p):
+        mc = sample_checkpointing(p, runs=60_000).mean()
+        assert relative_error(mc, expected_checkpointing(p)) < 0.03
+
+    @pytest.mark.parametrize("p", [0.0, 0.3, 0.7, 1.0])
+    def test_alternative_sampler_matches_closed_form(self, p):
+        mc = sample_alternative(p, runs=60_000).mean()
+        assert relative_error(mc, expected_alternative(p)) < 0.02
+
+    def test_retry_sampler_rejects_p_one(self):
+        with pytest.raises(SimulationError, match="never completes"):
+            sample_retrying(1.0)
+
+    def test_checkpoint_sampler_rejects_p_one(self):
+        with pytest.raises(SimulationError):
+            sample_checkpointing(1.0)
+
+    def test_alternative_sampler_support(self):
+        samples = sample_alternative(0.5, runs=10_000)
+        # Support: either a clean 30s run or i*6 + 150.
+        valid = {30.0} | {i * 6.0 + 150.0 for i in range(1, 6)}
+        assert set(np.unique(samples)).issubset(valid)
+
+    def test_retry_sampler_high_p_is_fast(self):
+        # The geometric/multinomial decomposition must not degrade with p.
+        import time
+
+        start = time.time()
+        sample_retrying(0.999, runs=50_000)
+        assert time.time() - start < 2.0

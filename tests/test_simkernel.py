@@ -1,0 +1,192 @@
+"""Unit tests for the discrete-event kernel and its reactor adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.simkernel import PeriodicTask, SimKernel, SimReactor
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, kernel):
+        assert kernel.now() == 0.0
+
+    def test_event_fires_at_scheduled_time(self, kernel):
+        fired = []
+        kernel.schedule(5.0, lambda: fired.append(kernel.now()))
+        kernel.run()
+        assert fired == [5.0]
+
+    def test_events_fire_in_time_order(self, kernel):
+        order = []
+        kernel.schedule(3.0, lambda: order.append("c"))
+        kernel.schedule(1.0, lambda: order.append("a"))
+        kernel.schedule(2.0, lambda: order.append("b"))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_fire_fifo(self, kernel):
+        order = []
+        for tag in "abc":
+            kernel.schedule(1.0, lambda t=tag: order.append(t))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self, kernel):
+        fired = []
+        kernel.schedule(2.0, lambda: kernel.schedule_at(7.0, lambda: fired.append(kernel.now())))
+        kernel.run()
+        assert fired == [7.0]
+
+    def test_nested_scheduling_during_event(self, kernel):
+        fired = []
+        kernel.schedule(1.0, lambda: kernel.schedule(1.0, lambda: fired.append(kernel.now())))
+        kernel.run()
+        assert fired == [2.0]
+
+    def test_zero_delay_runs_at_current_time(self, kernel):
+        times = []
+        kernel.schedule(4.0, lambda: kernel.schedule(0.0, lambda: times.append(kernel.now())))
+        kernel.run()
+        assert times == [4.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, kernel):
+        fired = []
+        handle = kernel.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        kernel.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self, kernel):
+        h = kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None)
+        assert kernel.pending() == 2
+        h.cancel()
+        assert kernel.pending() == 1
+
+
+class TestRun:
+    def test_run_returns_event_count(self, kernel):
+        for i in range(3):
+            kernel.schedule(float(i), lambda: None)
+        assert kernel.run() == 3
+
+    def test_run_until_stops_at_boundary_inclusive(self, kernel):
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append(1.0))
+        kernel.schedule(2.0, lambda: fired.append(2.0))
+        kernel.schedule(3.0, lambda: fired.append(3.0))
+        kernel.run_until(2.0)
+        assert fired == [1.0, 2.0]
+        assert kernel.now() == 2.0
+        kernel.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_advances_clock_without_events(self, kernel):
+        kernel.run_until(10.0)
+        assert kernel.now() == 10.0
+
+    def test_max_events_guard(self, kernel):
+        def reschedule():
+            kernel.schedule(1.0, reschedule)
+
+        kernel.schedule(1.0, reschedule)
+        with pytest.raises(RuntimeError, match="max_events"):
+            kernel.run(max_events=100)
+
+    def test_step_returns_false_when_idle(self, kernel):
+        assert kernel.step() is False
+
+    def test_events_processed_counter(self, kernel):
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        assert kernel.events_processed == 1
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self, kernel):
+        times = []
+        task = PeriodicTask(kernel, 2.0, lambda: times.append(kernel.now()))
+        kernel.run_until(7.0)
+        task.stop()
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_start_delay_override(self, kernel):
+        times = []
+        task = PeriodicTask(kernel, 2.0, lambda: times.append(kernel.now()), start_delay=0.5)
+        kernel.run_until(5.0)
+        task.stop()
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_stop_prevents_future_fires(self, kernel):
+        times = []
+        task = PeriodicTask(kernel, 1.0, lambda: times.append(kernel.now()))
+        kernel.run_until(2.0)
+        task.stop()
+        kernel.run_until(10.0)
+        assert times == [1.0, 2.0]
+        assert task.stopped
+
+    def test_invalid_period_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            PeriodicTask(kernel, 0.0, lambda: None)
+
+    def test_callback_may_stop_itself(self, kernel):
+        times = []
+
+        def cb():
+            times.append(kernel.now())
+            if len(times) == 2:
+                task.stop()
+
+        task = PeriodicTask(kernel, 1.0, cb)
+        kernel.run_until(10.0)
+        assert times == [1.0, 2.0]
+
+
+class TestSimReactor:
+    def test_now_tracks_kernel(self, kernel, reactor):
+        kernel.schedule(3.0, lambda: None)
+        kernel.run()
+        assert reactor.now() == 3.0
+
+    def test_call_later_and_cancel(self, kernel, reactor):
+        fired = []
+        h1 = reactor.call_later(1.0, lambda: fired.append("a"))
+        h2 = reactor.call_later(2.0, lambda: fired.append("b"))
+        h2.cancel()
+        kernel.run()
+        assert fired == ["a"]
+        assert not h1.cancelled and h2.cancelled
+
+    def test_post_runs_on_next_turn(self, kernel, reactor):
+        fired = []
+        reactor.post(lambda: fired.append(kernel.now()))
+        kernel.run()
+        assert fired == [0.0]
+
+    def test_run_until_complete_stops_on_predicate(self, kernel, reactor):
+        state = {"done": False}
+        reactor.call_later(1.0, lambda: None)
+        reactor.call_later(2.0, lambda: state.update(done=True))
+        reactor.call_later(3.0, lambda: None)
+        assert reactor.run_until_complete(lambda: state["done"]) is True
+        assert kernel.now() == 2.0
+
+    def test_run_until_complete_gives_up_when_idle(self, kernel, reactor):
+        assert reactor.run_until_complete(lambda: False) is False
+
+    def test_run_until_complete_respects_timeout(self, kernel, reactor):
+        def reschedule():
+            reactor.call_later(1.0, reschedule)
+
+        reactor.call_later(1.0, reschedule)
+        assert reactor.run_until_complete(lambda: False, timeout=5.0) is False
+        assert kernel.now() <= 6.0

@@ -1,0 +1,106 @@
+"""Tests for structured execution traces (EngineTrace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import fig4_workflow, two_reliable_hosts
+from repro.engine import WorkflowEngine
+from repro.engine.engine import (
+    ENGINE_NODE_CANCELLED,
+    ENGINE_NODE_COMPLETED,
+    ENGINE_NODE_LAUNCHED,
+    ENGINE_WORKFLOW_FINISHED,
+)
+from repro.engine.trace import EngineTrace
+from repro.grid import CrashingTask, FixedDurationTask
+from repro.wpdl import JoinMode, WorkflowBuilder
+
+
+@pytest.fixture
+def traced_fig4(quiet_grid):
+    two_reliable_hosts(quiet_grid)
+    quiet_grid.install(
+        "u1", "fast", CrashingTask(duration=30.0, crash_at=10.0, crashes=None)
+    )
+    quiet_grid.install("r1", "slow", FixedDurationTask(150.0))
+    engine = WorkflowEngine(fig4_workflow(), quiet_grid, reactor=quiet_grid.reactor)
+    trace = EngineTrace.attach(engine)
+    engine.run(timeout=1e7)
+    return trace
+
+
+class TestRecording:
+    def test_launch_and_completion_events_per_node(self, traced_fig4):
+        assert traced_fig4.count(ENGINE_NODE_LAUNCHED) == 3  # FU, SR, Join
+        assert traced_fig4.count(ENGINE_NODE_COMPLETED) == 3
+        assert traced_fig4.count(ENGINE_WORKFLOW_FINISHED) == 1
+
+    def test_detector_attempts_recorded(self, traced_fig4):
+        attempts = traced_fig4.attempts("FU")
+        assert len(attempts) == 2  # two crash tries
+        assert all(e.topic == "task.failed" for e in attempts)
+        assert attempts[0].detail["reason"] == "done-without-taskend"
+
+    def test_for_node_merges_engine_and_detector_views(self, traced_fig4):
+        events = traced_fig4.for_node("FU")
+        topics = {e.topic for e in events}
+        assert ENGINE_NODE_LAUNCHED in topics
+        assert ENGINE_NODE_COMPLETED in topics
+        assert "task.failed" in topics
+
+    def test_completed_event_carries_status_and_tries(self, traced_fig4):
+        completed = [
+            e
+            for e in traced_fig4.events
+            if e.topic == ENGINE_NODE_COMPLETED and e.detail["node"] == "FU"
+        ]
+        assert completed[0].detail["status"] == "failed"
+        assert completed[0].detail["tries"] == 2
+
+    def test_render_is_time_ordered(self, traced_fig4):
+        lines = traced_fig4.render().splitlines()
+        times = [float(line.split()[0]) for line in lines]
+        assert times == sorted(times)
+
+    def test_detach_stops_recording(self, quiet_grid):
+        quiet_grid.add_host(
+            __import__("repro.grid", fromlist=["RELIABLE"]).RELIABLE("h1")
+        )
+        quiet_grid.install("h1", "t", FixedDurationTask(5.0))
+        wf = (
+            WorkflowBuilder("w")
+            .program("t", hosts=["h1"])
+            .activity("a", implement="t")
+            .build()
+        )
+        engine = WorkflowEngine(wf, quiet_grid, reactor=quiet_grid.reactor)
+        trace = EngineTrace.attach(engine)
+        trace.detach()
+        engine.run()
+        assert trace.events == []
+
+
+class TestCancelledEvents:
+    def test_or_join_race_emits_cancelled_event(self, quiet_grid):
+        two_reliable_hosts(quiet_grid)
+        quiet_grid.install("u1", "fast", FixedDurationTask(10.0))
+        quiet_grid.install("r1", "slow", FixedDurationTask(100.0))
+        wf = (
+            WorkflowBuilder("race")
+            .program("fast", hosts=["u1"])
+            .program("slow", hosts=["r1"])
+            .dummy("split")
+            .activity("quick", implement="fast")
+            .activity("laggard", implement="slow")
+            .dummy("join", join=JoinMode.OR)
+            .redundant("split", "join", "quick", "laggard")
+            .build()
+        )
+        engine = WorkflowEngine(wf, quiet_grid, reactor=quiet_grid.reactor)
+        trace = EngineTrace.attach(engine)
+        engine.run()
+        cancelled = [
+            e for e in trace.events if e.topic == ENGINE_NODE_CANCELLED
+        ]
+        assert [e.detail["node"] for e in cancelled] == ["laggard"]

@@ -1,0 +1,93 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import WorkflowEngine
+from repro.errors import SpecificationError
+from repro.grid import GridConfig, SimulatedGrid
+from repro.workloads import chain, diamond_ladder, fork_join, layered_dag
+from repro.wpdl.validator import validation_problems
+
+
+def run(workflow, setup):
+    grid = setup(SimulatedGrid(config=GridConfig(heartbeats=False)))
+    return WorkflowEngine(workflow, grid, reactor=grid.reactor).run(timeout=1e8)
+
+
+class TestChain:
+    def test_structure(self):
+        wf, _ = chain(5)
+        assert len(wf.nodes) == 5
+        assert len(wf.transitions) == 4
+        assert validation_problems(wf) == []
+
+    def test_runs_in_serial_time(self):
+        wf, setup = chain(10, task_duration=2.0)
+        result = run(wf, setup)
+        assert result.succeeded
+        assert result.completion_time == pytest.approx(20.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(SpecificationError):
+            chain(0)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        wf, _ = fork_join(8)
+        assert len(wf.nodes) == 10  # split + 8 + join
+        assert len(wf.incoming("join")) == 8
+
+    def test_runs_in_parallel_time(self):
+        wf, setup = fork_join(16, task_duration=3.0)
+        result = run(wf, setup)
+        assert result.succeeded
+        # All branches run concurrently (simulated hosts have no queueing).
+        assert result.completion_time == pytest.approx(3.0)
+
+    def test_invalid_width(self):
+        with pytest.raises(SpecificationError):
+            fork_join(0)
+
+
+class TestLayeredDag:
+    def test_structure_is_valid_and_deterministic(self):
+        wf1, _ = layered_dag(4, 5, seed=3)
+        wf2, _ = layered_dag(4, 5, seed=3)
+        assert wf1 == wf2
+        assert validation_problems(wf1) == []
+        assert len(wf1.nodes) == 4 * 5 + 2  # + source/sink
+
+    def test_different_seed_changes_wiring(self):
+        wf1, _ = layered_dag(4, 5, seed=1)
+        wf2, _ = layered_dag(4, 5, seed=2)
+        assert wf1.transitions != wf2.transitions
+
+    def test_single_entry_and_exit(self):
+        wf, _ = layered_dag(3, 4, seed=0)
+        assert wf.entry_nodes() == ["source"]
+        assert wf.exit_nodes() == ["sink"]
+
+    def test_runs_to_completion(self):
+        wf, setup = layered_dag(5, 4, seed=7, task_duration=1.0)
+        result = run(wf, setup)
+        assert result.succeeded
+        # Critical path is at most one task per layer deep.
+        assert result.completion_time <= 5.0 + 1e-9
+        assert result.completion_time >= 5.0 - 1e-9  # every layer depends up
+
+
+class TestDiamondLadder:
+    def test_structure(self):
+        wf, _ = diamond_ladder(3)
+        assert len(wf.nodes) == 12
+        assert validation_problems(wf) == []
+
+    def test_completion_time(self):
+        wf, setup = diamond_ladder(4, task_duration=2.0)
+        result = run(wf, setup)
+        assert result.succeeded
+        # Each rung contributes one parallel task layer.
+        assert result.completion_time == pytest.approx(8.0)

@@ -1,0 +1,136 @@
+"""Unit tests for the fluent workflow builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecificationError, ValidationError
+from repro.wpdl import JoinMode, WorkflowBuilder
+from repro.wpdl.model import ConditionKind
+
+
+class TestNodes:
+    def test_duplicate_node_rejected(self):
+        builder = WorkflowBuilder("w").dummy("t")
+        with pytest.raises(SpecificationError, match="duplicate node"):
+            builder.dummy("t")
+
+    def test_duplicate_program_rejected(self):
+        builder = WorkflowBuilder("w").program("p", hosts=["h"])
+        with pytest.raises(SpecificationError, match="duplicate program"):
+            builder.program("p", hosts=["h"])
+
+    def test_program_accepts_hosts_shorthand(self):
+        wf = (
+            WorkflowBuilder("w")
+            .program("p", hosts=["a", "b"])
+            .activity("t", implement="p")
+            .build()
+        )
+        assert [o.hostname for o in wf.programs["p"].options] == ["a", "b"]
+
+    def test_variables(self):
+        wf = WorkflowBuilder("w").dummy("t").variable("x", 3).build()
+        assert wf.variables == {"x": 3}
+
+
+class TestEdgesSugar:
+    def test_sequence_chains_done_edges(self):
+        wf = (
+            WorkflowBuilder("w")
+            .dummy("a").dummy("b").dummy("c")
+            .sequence("a", "b", "c")
+            .build()
+        )
+        assert [(t.source, t.target) for t in wf.transitions] == [
+            ("a", "b"),
+            ("b", "c"),
+        ]
+
+    def test_fan_out_fan_in(self):
+        wf = (
+            WorkflowBuilder("w")
+            .dummy("s").dummy("x").dummy("y").dummy("j")
+            .fan_out("s", "x", "y")
+            .fan_in("j", "x", "y")
+            .build()
+        )
+        assert len(wf.transitions) == 4
+
+    def test_on_failure_creates_failed_edge(self):
+        wf = (
+            WorkflowBuilder("w")
+            .dummy("a").dummy("h")
+            .on_failure("a", "h")
+            .build()
+        )
+        assert wf.transitions[0].condition.kind is ConditionKind.FAILED
+
+    def test_on_exception_edge(self):
+        wf = (
+            WorkflowBuilder("w")
+            .dummy("a").dummy("h")
+            .on_exception("a", "oom", "h")
+            .build()
+        )
+        cond = wf.transitions[0].condition
+        assert cond.kind is ConditionKind.EXCEPTION and cond.exception == "oom"
+
+    def test_when_edge(self):
+        wf = (
+            WorkflowBuilder("w")
+            .dummy("a").dummy("b")
+            .when("a", "x > 1", "b")
+            .build()
+        )
+        assert wf.transitions[0].condition.expr == "x > 1"
+
+    def test_always_edge(self):
+        wf = (
+            WorkflowBuilder("w").dummy("a").dummy("b").always("a", "b").build()
+        )
+        assert wf.transitions[0].condition.kind is ConditionKind.ALWAYS
+
+    def test_redundant_requires_or_join(self):
+        builder = (
+            WorkflowBuilder("w")
+            .dummy("split").dummy("x").dummy("y").dummy("join")  # AND join
+        )
+        with pytest.raises(SpecificationError, match="JoinMode.OR|join"):
+            builder.redundant("split", "join", "x", "y")
+
+    def test_redundant_wires_figure5_shape(self):
+        wf = (
+            WorkflowBuilder("w")
+            .dummy("split")
+            .dummy("x")
+            .dummy("y")
+            .dummy("join", join=JoinMode.OR)
+            .redundant("split", "join", "x", "y")
+            .build()
+        )
+        assert len(wf.incoming("join")) == 2
+        assert len(wf.outgoing("split")) == 2
+
+
+class TestBuild:
+    def test_build_validates_by_default(self):
+        builder = WorkflowBuilder("w").dummy("a").transition("a", "ghost")
+        with pytest.raises(ValidationError):
+            builder.build()
+
+    def test_build_can_skip_validation(self):
+        wf = (
+            WorkflowBuilder("w")
+            .dummy("a")
+            .transition("a", "ghost")
+            .build(validate_graph=False)
+        )
+        assert wf.name == "w"
+
+    def test_built_workflow_is_independent_of_builder(self):
+        builder = WorkflowBuilder("w").dummy("a")
+        wf1 = builder.build()
+        builder.dummy("b")
+        wf2 = builder.build()
+        assert "b" not in wf1.nodes and "b" in wf2.nodes

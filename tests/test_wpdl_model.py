@@ -1,0 +1,166 @@
+"""Unit tests for the WPDL model (AST) and its local invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import FailurePolicy
+from repro.errors import SpecificationError
+from repro.wpdl.model import (
+    Activity,
+    ConditionKind,
+    JoinMode,
+    Loop,
+    Option,
+    Parameter,
+    Program,
+    Transition,
+    TransitionCondition,
+    Workflow,
+)
+
+
+class TestOptionAndProgram:
+    def test_option_requires_hostname(self):
+        with pytest.raises(SpecificationError):
+            Option(hostname="")
+
+    def test_program_requires_options(self):
+        with pytest.raises(SpecificationError):
+            Program(name="p", options=())
+
+    def test_executable_override_per_option(self):
+        program = Program(
+            name="sum",
+            options=(
+                Option(hostname="a"),
+                Option(hostname="b", executable="sum_v2"),
+            ),
+        )
+        assert program.executable_on(program.options[0]) == "sum"
+        assert program.executable_on(program.options[1]) == "sum_v2"
+
+
+class TestParameter:
+    def test_literal_and_ref_are_exclusive(self):
+        with pytest.raises(SpecificationError):
+            Parameter(name="x", value=1, ref="other")
+
+    def test_ref_parameter(self):
+        p = Parameter(name="x", ref="upstream")
+        assert p.ref == "upstream" and p.value is None
+
+
+class TestTransitionCondition:
+    def test_done_default(self):
+        assert Transition("a", "b").condition.kind is ConditionKind.DONE
+
+    def test_exception_requires_pattern(self):
+        with pytest.raises(SpecificationError):
+            TransitionCondition(ConditionKind.EXCEPTION)
+
+    def test_expr_requires_expression(self):
+        with pytest.raises(SpecificationError):
+            TransitionCondition(ConditionKind.EXPR)
+
+    def test_pattern_only_on_exception_kind(self):
+        with pytest.raises(SpecificationError):
+            TransitionCondition(ConditionKind.DONE, exception="x")
+
+    def test_expr_only_on_expr_kind(self):
+        with pytest.raises(SpecificationError):
+            TransitionCondition(ConditionKind.FAILED, expr="x > 1")
+
+    def test_constructors(self):
+        assert TransitionCondition.failed().kind is ConditionKind.FAILED
+        assert TransitionCondition.always().kind is ConditionKind.ALWAYS
+        assert TransitionCondition.on_exception("oom").exception == "oom"
+        assert TransitionCondition.when("x > 1").expr == "x > 1"
+
+    def test_self_transition_rejected(self):
+        with pytest.raises(SpecificationError, match="self-transition"):
+            Transition("a", "a")
+
+
+class TestActivity:
+    def test_dummy_detection(self):
+        assert Activity(name="split").dummy
+        assert not Activity(name="t", implement="p").dummy
+
+    def test_name_required(self):
+        with pytest.raises(SpecificationError):
+            Activity(name="")
+
+
+class TestLoop:
+    def body(self):
+        return Workflow(
+            name="body",
+            nodes={"t": Activity(name="t")},
+        )
+
+    def test_requires_condition(self):
+        with pytest.raises(SpecificationError):
+            Loop(name="l", body=self.body(), condition="")
+
+    def test_max_iterations_positive(self):
+        with pytest.raises(SpecificationError):
+            Loop(name="l", body=self.body(), condition="x", max_iterations=0)
+
+
+class TestWorkflowGraph:
+    @pytest.fixture
+    def diamond(self):
+        return Workflow(
+            name="diamond",
+            nodes={
+                "a": Activity(name="a"),
+                "b": Activity(name="b"),
+                "c": Activity(name="c"),
+                "d": Activity(name="d"),
+            },
+            transitions=(
+                Transition("a", "b"),
+                Transition("a", "c"),
+                Transition("b", "d"),
+                Transition("c", "d"),
+            ),
+        )
+
+    def test_entry_and_exit_nodes(self, diamond):
+        assert diamond.entry_nodes() == ["a"]
+        assert diamond.exit_nodes() == ["d"]
+
+    def test_incoming_outgoing(self, diamond):
+        assert {t.target for t in diamond.outgoing("a")} == {"b", "c"}
+        assert {t.source for t in diamond.incoming("d")} == {"b", "c"}
+
+    def test_node_lookup_error(self, diamond):
+        with pytest.raises(SpecificationError):
+            diamond.node("ghost")
+
+    def test_node_key_mismatch_rejected(self):
+        with pytest.raises(SpecificationError, match="does not match"):
+            Workflow(name="w", nodes={"x": Activity(name="y")})
+
+    def test_program_for_dummy_is_none(self, diamond):
+        assert diamond.program_for(diamond.node("a")) is None
+
+    def test_program_for_unknown_program_raises(self):
+        wf = Workflow(
+            name="w", nodes={"t": Activity(name="t", implement="missing")}
+        )
+        with pytest.raises(SpecificationError, match="unknown program"):
+            wf.program_for(wf.node("t"))
+
+    def test_activities_and_loops_partition(self):
+        body = Workflow(name="b", nodes={"x": Activity(name="x")})
+        wf = Workflow(
+            name="w",
+            nodes={
+                "t": Activity(name="t"),
+                "l": Loop(name="l", body=body, condition="x"),
+            },
+        )
+        assert [a.name for a in wf.activities()] == ["t"]
+        assert [l.name for l in wf.loops()] == ["l"]

@@ -1,0 +1,287 @@
+"""Unit tests for the XML WPDL parser, including the paper's examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import ReplicationMode
+from repro.errors import ParseError, ValidationError
+from repro.wpdl.model import ConditionKind, JoinMode
+from repro.wpdl.parser import parse_wpdl, parse_wpdl_file
+
+# The paper's Figure 2 fragment, completed into a full document.
+FIGURE2 = """
+<Workflow name='retry-example'>
+  <Activity name='summation' max_tries='3' interval='10'>
+    <Input name='x' value='42' type='int'/>
+    <Output>total</Output>
+    <Implement>sum</Implement>
+  </Activity>
+  <Program name='sum'>
+    <Option hostname='bolas.isi.edu' service='jobmanager'
+            executableDir='/XML/EXAMPLE/' executable='sum'/>
+  </Program>
+</Workflow>
+"""
+
+# The paper's Figure 3 fragment (replication).
+FIGURE3 = """
+<Workflow name='replica-example'>
+  <Activity name='summation' policy='replica'>
+    <Implement>sum</Implement>
+  </Activity>
+  <Program name='sum'>
+    <Option hostname='bolas.isi.edu'/>
+    <Option hostname='vanuatu.isi.edu'/>
+    <Option hostname='jupiter.isi.edu'/>
+  </Program>
+</Workflow>
+"""
+
+
+class TestPaperExamples:
+    def test_figure2_retrying(self):
+        wf = parse_wpdl(FIGURE2)
+        act = wf.node("summation")
+        assert act.policy.max_tries == 3
+        assert act.policy.interval == 10.0
+        assert act.inputs[0].value == 42
+        assert act.outputs == ("total",)
+        option = wf.programs["sum"].options[0]
+        assert option.hostname == "bolas.isi.edu"
+        assert option.executable_dir == "/XML/EXAMPLE/"
+
+    def test_figure3_replication(self):
+        wf = parse_wpdl(FIGURE3)
+        act = wf.node("summation")
+        assert act.policy.replication is ReplicationMode.REPLICA
+        assert len(wf.programs["sum"].options) == 3
+
+
+class TestAttributes:
+    def test_unlimited_max_tries(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'>"
+            "<Activity name='t' max_tries='unlimited'><Implement>p</Implement></Activity>"
+            "<Program name='p'><Option hostname='h'/></Program>"
+            "</Workflow>"
+        )
+        assert wf.node("t").policy.max_tries is None
+
+    def test_join_or(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'><Activity name='t' join='or'/></Workflow>"
+        )
+        assert wf.node("t").join is JoinMode.OR
+
+    def test_retry_on_exception_flag(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'>"
+            "<Activity name='t' retry_on_exception='true'/></Workflow>"
+        )
+        assert wf.node("t").policy.retry_on_exception
+
+    def test_bad_max_tries_rejected(self):
+        with pytest.raises(ParseError, match="max_tries"):
+            parse_wpdl("<Workflow name='w'><Activity name='t' max_tries='lots'/></Workflow>")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ParseError, match="policy"):
+            parse_wpdl("<Workflow name='w'><Activity name='t' policy='clone'/></Workflow>")
+
+    def test_bad_join_rejected(self):
+        with pytest.raises(ParseError, match="join"):
+            parse_wpdl("<Workflow name='w'><Activity name='t' join='xor'/></Workflow>")
+
+
+class TestTransitions:
+    def wrap(self, transitions):
+        return parse_wpdl(
+            "<Workflow name='w'>"
+            "<Activity name='a'/><Activity name='b'/>"
+            f"{transitions}"
+            "</Workflow>"
+        )
+
+    def test_done_default(self):
+        wf = self.wrap("<Transition from='a' to='b'/>")
+        assert wf.transitions[0].condition.kind is ConditionKind.DONE
+
+    def test_failed(self):
+        wf = self.wrap("<Transition from='a' to='b' on='failed'/>")
+        assert wf.transitions[0].condition.kind is ConditionKind.FAILED
+
+    def test_always(self):
+        wf = self.wrap("<Transition from='a' to='b' on='always'/>")
+        assert wf.transitions[0].condition.kind is ConditionKind.ALWAYS
+
+    def test_exception_with_pattern(self):
+        wf = self.wrap(
+            "<Transition from='a' to='b' on='exception' exception='disk_full'/>"
+        )
+        cond = wf.transitions[0].condition
+        assert cond.kind is ConditionKind.EXCEPTION
+        assert cond.exception == "disk_full"
+
+    def test_exception_without_pattern_rejected(self):
+        with pytest.raises(ParseError, match="exception"):
+            self.wrap("<Transition from='a' to='b' on='exception'/>")
+
+    def test_expr_condition(self):
+        wf = self.wrap("<Transition from='a' to='b' condition='a &gt; 10'/>")
+        cond = wf.transitions[0].condition
+        assert cond.kind is ConditionKind.EXPR and cond.expr == "a > 10"
+
+    def test_on_and_condition_exclusive(self):
+        with pytest.raises(ParseError, match="mutually exclusive"):
+            self.wrap("<Transition from='a' to='b' on='failed' condition='x'/>")
+
+    def test_unknown_on_rejected(self):
+        with pytest.raises(ParseError, match="unknown on"):
+            self.wrap("<Transition from='a' to='b' on='sometimes'/>")
+
+    def test_missing_endpoints_rejected(self):
+        with pytest.raises(ParseError):
+            self.wrap("<Transition from='a'/>")
+
+
+class TestVariablesAndLoops:
+    def test_typed_variables(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'>"
+            "<Variables>"
+            "<Variable name='s' value='hi'/>"
+            "<Variable name='i' value='3' type='int'/>"
+            "<Variable name='f' value='0.5' type='float'/>"
+            "<Variable name='b' value='true' type='bool'/>"
+            "<Variable name='n' type='none'/>"
+            "</Variables>"
+            "<Activity name='t'/>"
+            "</Workflow>"
+        )
+        assert wf.variables == {"s": "hi", "i": 3, "f": 0.5, "b": True, "n": None}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError, match="unknown value type"):
+            parse_wpdl(
+                "<Workflow name='w'><Variables>"
+                "<Variable name='x' value='1' type='decimal'/></Variables>"
+                "<Activity name='t'/></Workflow>"
+            )
+
+    def test_loop_with_body(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'>"
+            "<Loop name='refine' condition='residual &gt; 0.1' max_iterations='5'>"
+            "<Body name='refine_body'><Activity name='solve'/></Body>"
+            "</Loop>"
+            "</Workflow>"
+        )
+        loop = wf.node("refine")
+        assert loop.condition == "residual > 0.1"
+        assert loop.max_iterations == 5
+        assert "solve" in loop.body.nodes
+
+    def test_loop_requires_single_body(self):
+        with pytest.raises(ParseError, match="exactly one"):
+            parse_wpdl(
+                "<Workflow name='w'>"
+                "<Loop name='l' condition='x'></Loop>"
+                "</Workflow>"
+            )
+
+    def test_ref_input_value_dependency(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'>"
+            "<Activity name='a'><Output>total</Output></Activity>"
+            "<Activity name='b'><Input name='x' ref='total'/></Activity>"
+            "<Transition from='a' to='b'/>"
+            "</Workflow>"
+        )
+        assert wf.node("b").inputs[0].ref == "total"
+
+    def test_ref_and_value_exclusive(self):
+        with pytest.raises(ParseError, match="mutually exclusive"):
+            parse_wpdl(
+                "<Workflow name='w'><Activity name='b'>"
+                "<Input name='x' ref='r' value='1'/></Activity></Workflow>"
+            )
+
+
+class TestDocumentErrors:
+    def test_not_xml(self):
+        with pytest.raises(ParseError, match="not well-formed"):
+            parse_wpdl("this is not xml")
+
+    def test_wrong_root(self):
+        with pytest.raises(ParseError, match="root element"):
+            parse_wpdl("<Pipeline name='w'/>")
+
+    def test_unexpected_element(self):
+        with pytest.raises(ParseError, match="unexpected element"):
+            parse_wpdl("<Workflow name='w'><Task name='t'/></Workflow>")
+
+    def test_duplicate_activity(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_wpdl(
+                "<Workflow name='w'><Activity name='t'/><Activity name='t'/></Workflow>"
+            )
+
+    def test_duplicate_program(self):
+        with pytest.raises(ParseError, match="duplicate program"):
+            parse_wpdl(
+                "<Workflow name='w'><Activity name='t'/>"
+                "<Program name='p'><Option hostname='h'/></Program>"
+                "<Program name='p'><Option hostname='h'/></Program>"
+                "</Workflow>"
+            )
+
+    def test_validation_runs_by_default(self):
+        # Transition to an unknown node passes parsing but fails validation.
+        with pytest.raises(ValidationError):
+            parse_wpdl(
+                "<Workflow name='w'><Activity name='a'/>"
+                "<Transition from='a' to='ghost'/></Workflow>"
+            )
+
+    def test_validation_can_be_skipped(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'><Activity name='a'/>"
+            "<Transition from='a' to='ghost'/></Workflow>",
+            validate_graph=False,
+        )
+        assert wf.name == "w"
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "wf.xml"
+        path.write_text(FIGURE2)
+        assert parse_wpdl_file(path).name == "retry-example"
+
+    def test_parse_missing_file(self, tmp_path):
+        with pytest.raises(ParseError, match="cannot read"):
+            parse_wpdl_file(tmp_path / "missing.xml")
+
+
+class TestTimeoutAttribute:
+    def test_timeout_parsed_as_attempt_timeout(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'>"
+            "<Activity name='t' timeout='30.5'/></Workflow>"
+        )
+        assert wf.node("t").policy.attempt_timeout == 30.5
+
+    def test_missing_timeout_is_none(self):
+        wf = parse_wpdl("<Workflow name='w'><Activity name='t'/></Workflow>")
+        assert wf.node("t").policy.attempt_timeout is None
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ParseError, match="timeout"):
+            parse_wpdl(
+                "<Workflow name='w'><Activity name='t' timeout='soon'/></Workflow>"
+            )
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ParseError):
+            parse_wpdl(
+                "<Workflow name='w'><Activity name='t' timeout='0'/></Workflow>"
+            )

@@ -1,0 +1,141 @@
+"""Unit tests for the WPDL serializer (round-trip with the parser)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import FailurePolicy, ResourceSelection
+from repro.errors import SpecificationError
+from repro.wpdl import (
+    JoinMode,
+    Option,
+    Parameter,
+    TransitionCondition,
+    WorkflowBuilder,
+    parse_wpdl,
+    serialize_wpdl,
+)
+from repro.wpdl.serializer import workflow_to_element
+
+
+def rich_workflow():
+    """A workflow exercising every serialisable construct."""
+    body = (
+        WorkflowBuilder("refine_body")
+        .program("solver", hosts=["s1"])
+        .activity("solve", implement="solver", outputs=["residual"])
+        .build()
+    )
+    return (
+        WorkflowBuilder("rich")
+        .variable("threshold", 0.5)
+        .variable("label", "x")
+        .variable("limit", 10)
+        .variable("flag", True)
+        .variable("nothing", None)
+        .program(
+            "fast",
+            options=[
+                Option(hostname="u1", executable_dir="/opt/bin", executable="fast2"),
+                Option(hostname="u2", service="batch"),
+            ],
+        )
+        .program("slow", hosts=["r1"])
+        .activity(
+            "FU",
+            implement="fast",
+            policy=FailurePolicy(
+                max_tries=None,
+                interval=2.5,
+                resource_selection=ResourceSelection.ROTATE,
+                restart_from_checkpoint=False,
+                retry_on_exception=True,
+            ),
+            inputs=[Parameter("n", value=7), Parameter("prev", ref="seed")],
+            outputs=["result"],
+            description="fast but unreliable",
+        )
+        .activity("SR", implement="slow", policy=FailurePolicy.replica())
+        .dummy("DJ", join=JoinMode.OR)
+        .loop("refine", body, "residual > threshold", max_iterations=7)
+        .variable("seed", 1)
+        .transition("FU", "DJ")
+        .on_exception("FU", "disk_*", "SR")
+        .on_failure("FU", "SR")
+        .transition("SR", "DJ")
+        .transition("DJ", "refine")
+        .when("DJ", "limit > 5", "refine")
+        .build(validate_graph=False)  # replica with wildcard host count etc.
+    )
+
+
+class TestRoundTrip:
+    def test_rich_workflow_roundtrips_exactly(self):
+        wf = rich_workflow()
+        text = serialize_wpdl(wf)
+        assert parse_wpdl(text, validate_graph=False) == wf
+
+    def test_minimal_workflow_roundtrips(self):
+        wf = WorkflowBuilder("tiny").dummy("only").build()
+        assert parse_wpdl(serialize_wpdl(wf)) == wf
+
+    def test_nested_loop_roundtrips(self):
+        inner = WorkflowBuilder("inner").dummy("t").build()
+        middle = (
+            WorkflowBuilder("middle").loop("il", inner, "x > 1").build()
+        )
+        outer = WorkflowBuilder("outer").loop("ol", middle, "y > 1").build()
+        assert parse_wpdl(serialize_wpdl(outer)) == outer
+
+
+class TestOutputShape:
+    def test_default_attributes_omitted(self):
+        wf = WorkflowBuilder("w").dummy("t").build()
+        text = serialize_wpdl(wf)
+        assert "max_tries" not in text
+        assert "interval" not in text
+        assert "join=" not in text
+        assert "policy=" not in text
+
+    def test_unlimited_tries_serialised_as_keyword(self):
+        wf = (
+            WorkflowBuilder("w")
+            .program("p", hosts=["h"])
+            .activity("t", implement="p", policy=FailurePolicy.retrying(None))
+            .build()
+        )
+        assert 'max_tries="unlimited"' in serialize_wpdl(wf)
+
+    def test_pretty_and_compact_modes(self):
+        wf = WorkflowBuilder("w").dummy("t").build()
+        pretty = serialize_wpdl(wf, pretty=True)
+        compact = serialize_wpdl(wf, pretty=False)
+        assert "\n" in pretty
+        assert parse_wpdl(compact) == wf
+
+    def test_element_tag_override(self):
+        wf = WorkflowBuilder("w").dummy("t").build()
+        elem = workflow_to_element(wf, tag="Body")
+        assert elem.tag == "Body"
+
+    def test_unserialisable_variable_rejected(self):
+        wf = WorkflowBuilder("w").dummy("t").variable("bad", object()).build()
+        with pytest.raises(SpecificationError, match="cannot serialise"):
+            serialize_wpdl(wf)
+
+
+class TestTimeoutRoundTrip:
+    def test_attempt_timeout_serialised(self):
+        wf = (
+            WorkflowBuilder("w")
+            .program("p", hosts=["h"])
+            .activity(
+                "t",
+                implement="p",
+                policy=FailurePolicy(max_tries=2, attempt_timeout=45.0),
+            )
+            .build()
+        )
+        text = serialize_wpdl(wf)
+        assert 'timeout="45.0"' in text.replace("'", '"')
+        assert parse_wpdl(text) == wf
