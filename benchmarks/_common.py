@@ -14,6 +14,8 @@ hundred end-to-end runs (documented per benchmark).
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -21,6 +23,31 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: The paper's Monte-Carlo sample count per point.
 PAPER_RUNS = 100_000
+
+#: Engine-level overlay points: end-to-end runs per point and the worker
+#: count used to produce them.  Overlays fan out through
+#: :mod:`repro.sim.parallel` with deterministic seed sharding, so the run
+#: count is a pure accuracy knob — results are bit-identical for any jobs
+#: value, and the parallel layer keeps the raised count affordable.
+ENGINE_OVERLAY_RUNS = 1000
+
+
+def overlay_jobs() -> int:
+    """Worker processes for engine-level overlays: every available core
+    (overridable via ``REPRO_BENCH_JOBS``, e.g. ``1`` to force the
+    sequential path on shared CI runners)."""
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark artefact under results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def emit(name: str, text: str) -> None:

@@ -8,10 +8,6 @@ checkpoints lose work per failure, too many drown in overhead.
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import emit, once
 
 from repro.sim import (

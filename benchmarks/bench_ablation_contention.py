@@ -15,12 +15,8 @@ occupies a slot on *every* host, multiplying the capacity footprint.
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
 import numpy as np
 
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import emit, once
 
 from repro.core import FailurePolicy

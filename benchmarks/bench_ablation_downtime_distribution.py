@@ -16,11 +16,8 @@ conclusions are robust to the repair-time model.
 
 from __future__ import annotations
 
-import sys
 from dataclasses import replace
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import emit, once
 
 from repro.sim import (

@@ -8,11 +8,8 @@ and measures resume fidelity: how much work a restart re-executes.
 
 from __future__ import annotations
 
-import sys
 import time
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import emit, once
 
 from repro.engine import EngineCheckpointer, WorkflowEngine

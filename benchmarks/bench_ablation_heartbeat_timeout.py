@@ -18,12 +18,8 @@ latency.
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
 import numpy as np
 
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import emit, once
 
 from repro.core import FailurePolicy, ResourceSelection

@@ -10,10 +10,6 @@ paper's "at the cost of extra CPU consumption".
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import emit, once
 
 from repro.sim import (

@@ -1,0 +1,157 @@
+"""Engine-level Monte-Carlo throughput — sequential vs parallel.
+
+Not a paper figure: a systems benchmark tracking the perf trajectory of
+the engine-level sampling path introduced with :mod:`repro.sim.parallel`.
+Three configurations run the same 300-sample point (checkpointing,
+MTTF = 20):
+
+* ``naive``      — ``run_engine_once`` in a loop (the pre-optimisation
+  path: full grid + workflow construction per sample);
+* ``sequential`` — ``engine_samples(..., jobs=1)`` (one ``EngineSampler``
+  reused across runs via in-place grid reset);
+* ``parallel``   — ``engine_samples(..., jobs=4)`` (seed-sharded
+  process-pool fan-out).
+
+All three must produce bit-identical sample vectors — that is asserted,
+not assumed.  Results land in ``results/BENCH_engine_mc.json`` together
+with a raw sim-kernel event-throughput figure so regressions in either
+layer show up in review diffs.
+
+Wall-clock speedup of the parallel path is hardware-dependent (it cannot
+beat sequential on a single-core host), so the JSON records ``cpu_count``
+and the speedup assertions only engage when the cores exist.
+``REPRO_BENCH_MC_RUNS`` scales the sample count down for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _common import emit, emit_json, once
+
+from repro.grid import SimKernel
+from repro.sim import PAPER_BASELINE, EngineSampler, engine_samples
+from repro.sim.engine_mc import run_engine_once
+
+TECHNIQUE = "checkpointing"
+MTTF = 20.0
+RUNS = int(os.environ.get("REPRO_BENCH_MC_RUNS", "300"))
+JOBS = 4
+KERNEL_EVENTS = 200_000
+
+
+def _time_naive(params, runs: int) -> tuple[np.ndarray, float]:
+    base_seed = params.seed
+    start = time.perf_counter()
+    times = np.fromiter(
+        (
+            run_engine_once(TECHNIQUE, params, seed=base_seed + 7919 * i)
+            for i in range(runs)
+        ),
+        dtype=np.float64,
+        count=runs,
+    )
+    return times, time.perf_counter() - start
+
+
+def _time_engine_samples(params, runs: int, jobs: int) -> tuple[np.ndarray, float]:
+    start = time.perf_counter()
+    times = engine_samples(TECHNIQUE, params, runs=runs, jobs=jobs)
+    return times, time.perf_counter() - start
+
+
+def _kernel_events_per_sec(n_events: int) -> float:
+    """Raw kernel throughput: schedule-then-drain *n_events* timers."""
+    kernel = SimKernel()
+    counter = [0]
+
+    def tick() -> None:
+        counter[0] += 1
+
+    for i in range(n_events):
+        kernel.schedule(float(i % 97), tick)
+    start = time.perf_counter()
+    kernel.run()
+    elapsed = time.perf_counter() - start
+    assert counter[0] == n_events
+    return n_events / elapsed
+
+
+def generate():
+    params = PAPER_BASELINE.with_mttf(MTTF)
+
+    # Warmup: one engine run per path so import/bytecode costs are paid
+    # before any timer starts (see bench_engine_scalability.warmup).
+    run_engine_once(TECHNIQUE, params, seed=params.seed)
+    sampler = EngineSampler(TECHNIQUE, params)
+    sampler.run(params.seed)
+    _kernel_events_per_sec(10_000)
+
+    naive_times, naive_s = _time_naive(params, RUNS)
+    seq_times, seq_s = _time_engine_samples(params, RUNS, jobs=1)
+    par_times, par_s = _time_engine_samples(params, RUNS, jobs=JOBS)
+
+    bit_identical = bool(
+        np.array_equal(naive_times, seq_times)
+        and np.array_equal(seq_times, par_times)
+    )
+
+    # Engine-layer event throughput: events processed by the kernel during
+    # a timed sequential sampling pass (reset-reused grid).
+    timed_sampler = EngineSampler(TECHNIQUE, params)
+    start = time.perf_counter()
+    for i in range(RUNS):
+        timed_sampler.run(params.seed + 7919 * i)
+    engine_elapsed = time.perf_counter() - start
+    engine_events_per_sec = timed_sampler.events_processed / engine_elapsed
+
+    return {
+        "technique": TECHNIQUE,
+        "mttf": MTTF,
+        "runs": RUNS,
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "bit_identical": bit_identical,
+        "sequential_naive_runs_per_sec": RUNS / naive_s,
+        "sequential_runs_per_sec": RUNS / seq_s,
+        "parallel_runs_per_sec": RUNS / par_s,
+        "speedup_sequential_vs_naive": naive_s / seq_s,
+        "speedup_parallel_vs_naive": naive_s / par_s,
+        "speedup_parallel_vs_sequential": seq_s / par_s,
+        "kernel_events_per_sec": _kernel_events_per_sec(KERNEL_EVENTS),
+        "engine_events_per_sec": engine_events_per_sec,
+        "engine_events_per_run": timed_sampler.events_processed / RUNS,
+    }
+
+
+def test_engine_mc_throughput(benchmark):
+    payload = once(benchmark, generate)
+    lines = [
+        f"engine-level Monte-Carlo, {TECHNIQUE} @ MTTF={MTTF:g}, "
+        f"{payload['runs']} runs, {payload['cpu_count']} cores:",
+        f"  naive (rebuild per run)   {payload['sequential_naive_runs_per_sec']:8.0f} runs/s",
+        f"  sequential (grid reset)   {payload['sequential_runs_per_sec']:8.0f} runs/s"
+        f"  ({payload['speedup_sequential_vs_naive']:.2f}x vs naive)",
+        f"  parallel (jobs={payload['jobs']})         {payload['parallel_runs_per_sec']:8.0f} runs/s"
+        f"  ({payload['speedup_parallel_vs_naive']:.2f}x vs naive)",
+        f"  bit-identical outputs: {payload['bit_identical']}",
+        f"  kernel event throughput   {payload['kernel_events_per_sec']:8.0f} events/s",
+        f"  engine event throughput   {payload['engine_events_per_sec']:8.0f} events/s"
+        f"  ({payload['engine_events_per_run']:.0f} events/run)",
+    ]
+    emit("engine_mc", "\n".join(lines))
+    emit_json("BENCH_engine_mc", payload)
+
+    # Correctness is unconditional: every execution mode must agree bit
+    # for bit, or the parallel layer is broken.
+    assert payload["bit_identical"]
+    # The reset-reused sampler must not be slower than rebuilding the grid
+    # every run (generous margin for shared-box timer noise).
+    assert payload["speedup_sequential_vs_naive"] > 0.8, payload
+    # Parallel wall-clock gains need the cores to exist; with them, four
+    # workers on an embarrassingly parallel loop must clear 2x.
+    if (payload["cpu_count"] or 1) >= JOBS:
+        assert payload["speedup_parallel_vs_sequential"] > 2.0, payload

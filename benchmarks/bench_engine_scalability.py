@@ -10,11 +10,8 @@ navigation cost stays near-linear in workflow size.
 
 from __future__ import annotations
 
-import sys
 import time
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import emit, once
 
 from repro.engine import WorkflowEngine
@@ -40,7 +37,20 @@ def run_shape(shape: str, n: int) -> tuple[float, int]:
     return elapsed, len(wf.nodes)
 
 
+def warmup():
+    """One small run per shape before timing.
+
+    The first engine execution of a process pays import resolution,
+    bytecode specialisation and allocator warmup; without this the first
+    timed row showed ~4x inflated wall time (see the historical
+    ``layered/100`` row in results/engine_scalability.txt).
+    """
+    for shape in SHAPES:
+        run_shape(shape, SIZES[0])
+
+
 def generate():
+    warmup()
     rows = {}
     for shape in SHAPES:
         rows[shape] = []

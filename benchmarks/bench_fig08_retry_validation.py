@@ -7,10 +7,6 @@ on the analytical curve (e^{λF} − 1)/λ.
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import PAPER_RUNS, emit, emit_csv, once
 
 from repro.sim import (

@@ -8,10 +8,6 @@ F/a · (C + (C + R + 1/λ)(e^{λa} − 1)) with a = F/K.
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import PAPER_RUNS, emit, emit_csv, once
 
 from repro.sim import (

@@ -13,11 +13,14 @@ over [10, 100], 100 000 runs per point.  Claims to reproduce:
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).parent))
-from _common import PAPER_RUNS, emit, emit_csv, once
+from _common import (
+    ENGINE_OVERLAY_RUNS,
+    PAPER_RUNS,
+    emit,
+    emit_csv,
+    once,
+    overlay_jobs,
+)
 
 from repro.sim import (
     PAPER_BASELINE,
@@ -33,7 +36,6 @@ from repro.sim import (
 )
 
 ENGINE_OVERLAY_MTTFS = (10.0, 30.0, 100.0)
-ENGINE_OVERLAY_RUNS = 300
 
 
 def generate():
@@ -41,13 +43,16 @@ def generate():
 
 
 def engine_overlay():
+    jobs = overlay_jobs()
     rows = []
     for mttf in ENGINE_OVERLAY_MTTFS:
         params = PAPER_BASELINE.with_mttf(mttf)
         row = {"mttf": mttf}
         for technique in TECHNIQUES:
             row[technique] = summarize(
-                engine_samples(technique, params, runs=ENGINE_OVERLAY_RUNS)
+                engine_samples(
+                    technique, params, runs=ENGINE_OVERLAY_RUNS, jobs=jobs
+                )
             ).mean
         rows.append(row)
     return rows

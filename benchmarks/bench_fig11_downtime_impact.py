@@ -10,10 +10,6 @@ Paper setup: same as Figure 10 but with downtime D ∈ {0, F, 5F, 10F} =
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import PAPER_RUNS, emit, once
 
 from repro.sim import (

@@ -11,10 +11,6 @@ Paper claims for downtime = 300 (ten times the task duration):
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import PAPER_RUNS, emit, emit_csv, once
 
 from repro.sim import (

@@ -16,12 +16,9 @@ strategy to confirm the full stack reproduces the model.
 from __future__ import annotations
 
 import math
-import sys
-from pathlib import Path
 
 import numpy as np
 
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import PAPER_RUNS, emit, emit_csv, once
 
 from repro.core import FailurePolicy

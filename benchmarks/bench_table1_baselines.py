@@ -11,10 +11,6 @@ choice Grid-WFS enables.
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).parent))
 from _common import emit, once
 
 from repro.baselines import PRESETS, TABLE1, adaptive_choice, table1_rows

@@ -1,0 +1,15 @@
+"""Pytest bootstrap for the benchmark suite.
+
+Makes the ``benchmarks/`` directory importable so every ``bench_*.py`` can
+``from _common import ...`` without per-file ``sys.path`` surgery,
+regardless of the directory pytest was invoked from.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_HERE = str(Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)

@@ -59,6 +59,14 @@ class CheckpointStore(ABC):
         except CheckpointError:
             return False
 
+    def clear(self) -> None:
+        """Drop every stored checkpoint (used when a simulated grid is
+        reset between Monte-Carlo runs).  Stores that cannot be wiped
+        wholesale may leave this unimplemented."""
+        raise CheckpointError(
+            f"{type(self).__name__} does not support clear()"
+        )
+
 
 class MemoryCheckpointStore(CheckpointStore):
     """Dict-backed store used by the simulated Grid."""
@@ -85,6 +93,10 @@ class MemoryCheckpointStore(CheckpointStore):
 
     def keys(self) -> list[str]:
         return sorted(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.writes = 0
 
 
 _SAFE_KEY = re.compile(r"[^A-Za-z0-9._-]")

@@ -258,6 +258,14 @@ class GramService:
         self._attempt_counters: dict[str, int] = {}
         self._seq = itertools.count(1)
 
+    def reset(self) -> None:
+        """Forget all submissions and restart job-id numbering, as if
+        freshly constructed over the same hosts/network/store."""
+        self._jobs.clear()
+        self._processes.clear()
+        self._attempt_counters.clear()
+        self._seq = itertools.count(1)
+
     # -- submission -----------------------------------------------------------
 
     def submit(self, request: SubmitRequest) -> str:

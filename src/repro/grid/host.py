@@ -76,6 +76,30 @@ class Host:
             self._start_heartbeats()
         self._schedule_next_crash()
 
+    def reset(self) -> None:
+        """Return to the just-constructed state (installed software kept).
+
+        Must mirror ``__init__`` exactly — including the heartbeat-then-
+        crash scheduling order — so that a grid reset reproduces a freshly
+        built grid's event sequence and RNG draws bit-for-bit.  The kernel
+        and streams are assumed to have been reset already; stale event
+        handles are dropped, not cancelled.
+        """
+        self.state = HostState.UP
+        self._running.clear()
+        self._queued.clear()
+        self._crash_listeners.clear()
+        self._recover_listeners.clear()
+        self._heartbeat_seq = itertools.count()
+        self._heartbeat_task = None
+        self._crash_handle = None
+        self.crash_count = 0
+        self.jobs_started = 0
+        self.jobs_killed = 0
+        if self._heartbeats_enabled:
+            self._start_heartbeats()
+        self._schedule_next_crash()
+
     # -- identity --------------------------------------------------------------
 
     @property

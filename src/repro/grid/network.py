@@ -79,6 +79,14 @@ class Network:
         """Attach the client-side message sink (the failure detector)."""
         self._sink = sink
 
+    def reset(self) -> None:
+        """Forget all transient state (sink, partitions, FIFO watermarks,
+        stats), as if freshly constructed with the same latency model."""
+        self._partitioned.clear()
+        self._sink = None
+        self._last_delivery.clear()
+        self.stats = NetworkStats()
+
     # -- partitions --------------------------------------------------------------
 
     def partition(self, hostname: str) -> None:

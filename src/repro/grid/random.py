@@ -46,6 +46,16 @@ class RandomStreams:
         self._root = np.random.SeedSequence(seed)
         self._streams: dict[str, np.random.Generator] = {}
 
+    def reseed(self, seed: int) -> None:
+        """Re-root the factory at *seed*, in place: every stream is
+        recreated on next use exactly as a fresh ``RandomStreams(seed)``
+        would create it.  Components holding a reference to this factory
+        (hosts, the network) see the new streams without rewiring — the
+        backbone of :meth:`repro.grid.simgrid.SimulatedGrid.reset`."""
+        self.seed = seed
+        self._root = np.random.SeedSequence(seed)
+        self._streams.clear()
+
     def get(self, name: str) -> np.random.Generator:
         """Return (creating if needed) the generator for stream *name*."""
         gen = self._streams.get(name)

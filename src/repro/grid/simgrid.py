@@ -82,6 +82,35 @@ class SimulatedGrid(ExecutionService):
             GramConfig(crash_detection=self.config.crash_detection),
         )
 
+    # -- reuse ------------------------------------------------------------------
+
+    def reset(self, *, seed: int | None = None) -> None:
+        """Rewind the grid to time zero with fresh randomness, in place.
+
+        Hosts (and their installed software) survive; everything transient
+        — the event queue, RNG streams, in-flight jobs, checkpoints,
+        network wiring — is rebuilt exactly as a newly constructed
+        ``SimulatedGrid(seed=...)`` with the same hosts added in the same
+        order would build it, so a reset grid produces bit-identical
+        simulations.  This is the Monte-Carlo fast path: per-run setup
+        drops from "construct the world" to "reseed and rewind"
+        (:class:`repro.sim.engine_mc.EngineSampler`).
+        """
+        self.kernel.reset()
+        self.streams.reseed(self.seed if seed is None else seed)
+        self.network.reset()
+        self.store.clear()
+        self.gram.reset()
+        # Host reset order must match construction order: each reset
+        # consumes the host's TTF draw and event sequence numbers.
+        for host in self.hosts.values():
+            host.reset()
+
+    @property
+    def seed(self) -> int:
+        """Root seed currently driving the RNG streams."""
+        return self.streams.seed
+
     # -- construction -----------------------------------------------------------
 
     def add_host(self, spec: ResourceSpec) -> Host:

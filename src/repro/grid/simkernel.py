@@ -12,6 +12,19 @@ ordered events.  Higher-level process patterns (periodic heartbeats,
 alternating up/down host lifecycles) are built on top of it in
 :mod:`repro.grid.host` and friends.
 
+Hot-path notes (this kernel executes tens of thousands of events per
+engine-level Monte-Carlo point, see ``benchmarks/bench_engine_mc.py``):
+
+* heap entries are plain ``[when, seq, callback]`` lists, so heap sift
+  comparisons run entirely in C (list comparison stops at ``seq``, which is
+  unique, and never reaches the callback);
+* cancellation is lazy — ``callback`` is replaced by ``None`` and the entry
+  is dropped when popped; when cancelled entries pile up the heap is
+  compacted in place so pathological cancel-heavy workloads (heartbeat
+  monitors, timer churn) stay O(live events);
+* the drain loops (:meth:`run`, :meth:`run_until`) pop inline instead of
+  delegating to :meth:`step`, avoiding a method call per event.
+
 :class:`SimReactor` adapts the kernel to the :class:`repro.reactor.Reactor`
 interface so the workflow engine can run unmodified inside the simulation.
 """
@@ -19,41 +32,42 @@ interface so the workflow engine can run unmodified inside the simulation.
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from ..reactor import Reactor, TimerHandle, _Timer
 
 __all__ = ["SimKernel", "SimReactor", "PeriodicTask"]
 
+# Heap-entry slots: [when, seq, callback]; callback is None once cancelled.
+_WHEN, _SEQ, _CALLBACK = 0, 1, 2
 
-@dataclass(order=True)
-class _Event:
-    when: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+#: Compact the heap when at least this many entries are cancelled *and* they
+#: outnumber the live ones (amortises the rebuild over many cancellations).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class EventHandle:
     """Cancellation handle for a scheduled simulation event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_kernel", "_entry")
 
-    def __init__(self, event: _Event) -> None:
-        self._event = event
+    def __init__(self, kernel: "SimKernel", entry: list) -> None:
+        self._kernel = kernel
+        self._entry = entry
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        entry = self._entry
+        if entry[_CALLBACK] is not None:
+            entry[_CALLBACK] = None
+            self._kernel._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_CALLBACK] is None
 
     @property
     def when(self) -> float:
-        return self._event.when
+        return self._entry[_WHEN]
 
 
 class SimKernel:
@@ -69,8 +83,9 @@ class SimKernel:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[_Event] = []
-        self._seq = itertools.count()
+        self._heap: list[list] = []
+        self._seq = 0
+        self._cancelled = 0
         self._events_processed = 0
 
     # -- clock ---------------------------------------------------------------
@@ -86,7 +101,17 @@ class SimKernel:
 
     def pending(self) -> int:
         """Number of queued, non-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if e[_CALLBACK] is not None)
+
+    def reset(self) -> None:
+        """Return to the pristine just-constructed state: clock at zero,
+        empty queue, sequence counter restarted (so a reused kernel
+        reproduces a fresh one's FIFO tie-breaking exactly)."""
+        self._now = 0.0
+        self._heap.clear()
+        self._seq = 0
+        self._cancelled = 0
+        self._events_processed = 0
 
     # -- scheduling ------------------------------------------------------------
 
@@ -94,24 +119,48 @@ class SimKernel:
         """Run *callback* ``delay`` virtual seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay!r})")
-        event = _Event(self._now + delay, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        entry = [self._now + delay, self._seq, callback]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return EventHandle(self, entry)
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
         """Run *callback* at absolute virtual time *when* (>= now)."""
         return self.schedule(when - self._now, callback)
 
+    # -- cancellation bookkeeping ----------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place (the drain loops
+        hold a local reference to the heap list, so its identity must be
+        preserved)."""
+        self._heap[:] = [e for e in self._heap if e[_CALLBACK] is not None]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
     # -- execution -------------------------------------------------------------
 
     def step(self) -> bool:
         """Process the single next event.  Returns ``False`` when idle."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = pop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
+                if self._cancelled:
+                    self._cancelled -= 1
                 continue
-            self._now = event.when
-            event.callback()
+            self._now = entry[_WHEN]
+            callback()
             self._events_processed += 1
             return True
         return False
@@ -123,9 +172,20 @@ class SimKernel:
         that never stop); when exceeded a ``RuntimeError`` is raised.
         Returns the number of events processed by this call.
         """
+        heap = self._heap
+        pop = heapq.heappop
         processed = 0
-        while self.step():
+        while heap:
+            entry = pop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            self._now = entry[_WHEN]
+            callback()
             processed += 1
+            self._events_processed += 1
             if max_events is not None and processed > max_events:
                 raise RuntimeError(
                     f"simulation exceeded max_events={max_events} "
@@ -139,16 +199,23 @@ class SimKernel:
         Events scheduled exactly at *when* do fire.  Returns the number of
         events processed.
         """
+        heap = self._heap
+        pop = heapq.heappop
         processed = 0
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+        while heap:
+            head = heap[0]
+            if head[_CALLBACK] is None:
+                pop(heap)
+                if self._cancelled:
+                    self._cancelled -= 1
                 continue
-            if head.when > when:
+            if head[_WHEN] > when:
                 break
-            self.step()
+            entry = pop(heap)
+            self._now = entry[_WHEN]
+            entry[_CALLBACK]()
             processed += 1
+            self._events_processed += 1
         self._now = max(self._now, when)
         return processed
 
@@ -240,12 +307,19 @@ class SimReactor(Reactor):
     def run_until_complete(self, is_done, timeout: float | None = None) -> bool:
         """Exact steppable loop: process events one at a time until the
         predicate holds, the queue drains, or virtual *timeout* elapses."""
-        deadline = None if timeout is None else self.kernel.now() + timeout
-        while not is_done():
-            if deadline is not None and self.kernel.now() >= deadline:
-                break
-            if not self.kernel.step():
-                break
+        kernel = self.kernel
+        step = kernel.step
+        deadline = None if timeout is None else kernel.now() + timeout
+        if deadline is None:
+            while not is_done():
+                if not step():
+                    break
+        else:
+            while not is_done():
+                if kernel.now() >= deadline:
+                    break
+                if not step():
+                    break
         return bool(is_done())
 
     def _has_work(self) -> bool:

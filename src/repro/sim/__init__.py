@@ -10,7 +10,20 @@ from .analytical import (
     young_checkpoint_count,
     young_interval,
 )
-from .engine_mc import build_technique_workflow, engine_samples, run_engine_once
+from .engine_mc import (
+    EngineSampler,
+    build_technique_workflow,
+    engine_samples,
+    run_engine_once,
+)
+from .parallel import (
+    SEED_STRIDE,
+    engine_samples_parallel,
+    resolve_jobs,
+    seed_for,
+    shard_bounds,
+    sweep_samples_parallel,
+)
 from .exceptions_model import (
     EXCEPTION_STRATEGIES,
     ExceptionExperiment,
@@ -54,9 +67,16 @@ __all__ = [
     "retry_expected_time",
     "young_checkpoint_count",
     "young_interval",
+    "EngineSampler",
     "build_technique_workflow",
     "engine_samples",
     "run_engine_once",
+    "SEED_STRIDE",
+    "engine_samples_parallel",
+    "resolve_jobs",
+    "seed_for",
+    "shard_bounds",
+    "sweep_samples_parallel",
     "EXCEPTION_STRATEGIES",
     "ExceptionExperiment",
     "expected_alternative",

@@ -1,0 +1,192 @@
+"""Parallel Monte-Carlo execution layer.
+
+The paper's evaluation rests on Monte-Carlo estimation of expected
+completion times (100 000 runs per point), and the engine-level overlay
+re-runs the *full* Grid-WFS stack per sample.  This module fans that work
+out across a :class:`concurrent.futures.ProcessPoolExecutor` while keeping
+results **bit-identical** to the sequential loop:
+
+Seed sharding
+    Run *i* always uses seed ``base_seed + SEED_STRIDE * i`` — a fixed
+    per-index seed stream, independent of how runs are distributed over
+    workers.  The run-index space ``[0, runs)`` is chunked into contiguous
+    shards (one per worker); each worker fills its slice and the parent
+    reassembles slices by offset.  Because no run's randomness depends on a
+    neighbour's, the concatenation equals the sequential result exactly,
+    for any worker count.
+
+Worker-side failures
+    Engine runs can fail (e.g. a virtual-time budget is exceeded).  Raw
+    exceptions crossing the process boundary lose their chained context, so
+    workers wrap any failure in a :class:`repro.errors.SimulationError`
+    whose message carries the technique, run index and seed — enough to
+    replay the failing run locally with
+    :func:`repro.sim.engine_mc.run_engine_once`.
+
+Single-worker calls (``jobs=1``, the default) bypass the pool entirely and
+run the reusable-sampler loop in process, so the sequential path has zero
+multiprocessing overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..errors import SimulationError
+from .params import SimulationParams
+
+__all__ = [
+    "SEED_STRIDE",
+    "seed_for",
+    "shard_bounds",
+    "resolve_jobs",
+    "engine_samples_parallel",
+    "sweep_samples_parallel",
+]
+
+#: Per-run seed stride (prime, so run seeds never collide with the small
+#: offsets other components derive from the root seed).
+SEED_STRIDE = 7919
+
+#: Default virtual-time budget for one engine run.
+DEFAULT_RUN_TIMEOUT = 10_000_000.0
+
+
+def seed_for(base_seed: int, index: int) -> int:
+    """Seed of Monte-Carlo run *index* — fixed per index, independent of
+    how runs are sharded across workers."""
+    return base_seed + SEED_STRIDE * index
+
+
+def shard_bounds(runs: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``[0, runs)`` into at most *shards* contiguous ``(start, stop)``
+    ranges whose sizes differ by at most one.  Empty ranges are omitted
+    (``runs < shards`` yields one range per run)."""
+    if runs < 0:
+        raise SimulationError(f"runs must be >= 0, got {runs!r}")
+    if shards < 1:
+        raise SimulationError(f"shards must be >= 1, got {shards!r}")
+    shards = min(shards, runs) or 1
+    base, extra = divmod(runs, shards)
+    bounds = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        if stop > start:
+            bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs``-style worker count.
+
+    ``None`` (or 1) means sequential; 0 or any negative value means "use
+    every available core"; anything else is taken literally.
+    """
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# -- engine-level sampling ----------------------------------------------------
+
+
+def _engine_shard(
+    technique: str,
+    params: SimulationParams,
+    base_seed: int,
+    start: int,
+    stop: int,
+    timeout: float,
+) -> tuple[int, np.ndarray]:
+    """Worker body: completion times for run indices ``[start, stop)``.
+
+    Module-level (picklable) and usable in process: the sequential path
+    calls it directly so ``jobs=1`` and ``jobs=N`` execute the same code.
+    """
+    from .engine_mc import EngineSampler
+
+    sampler = EngineSampler(technique, params, timeout=timeout)
+    out = np.empty(stop - start)
+    for index in range(start, stop):
+        seed = seed_for(base_seed, index)
+        try:
+            out[index - start] = sampler.run(seed)
+        except Exception as exc:
+            # Wrap with replay context: chained causes do not survive the
+            # executor's pickling, but the message does.
+            raise SimulationError(
+                f"engine-level Monte-Carlo run failed: "
+                f"technique={technique!r} run_index={index} seed={seed} "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+    return start, out
+
+
+def engine_samples_parallel(
+    technique: str,
+    params: SimulationParams,
+    *,
+    runs: int,
+    base_seed: int,
+    jobs: int | None = None,
+    timeout: float = DEFAULT_RUN_TIMEOUT,
+) -> np.ndarray:
+    """Completion times from *runs* end-to-end engine executions, fanned out
+    over *jobs* worker processes (bit-identical to ``jobs=1``)."""
+    if runs < 1:
+        raise SimulationError(f"runs must be >= 1, got {runs!r}")
+    jobs = min(resolve_jobs(jobs), runs)
+    if jobs <= 1:
+        return _engine_shard(technique, params, base_seed, 0, runs, timeout)[1]
+    times = np.empty(runs)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(
+                _engine_shard, technique, params, base_seed, start, stop, timeout
+            )
+            for start, stop in shard_bounds(runs, jobs)
+        ]
+        for future in futures:
+            start, shard = future.result()
+            times[start : start + shard.size] = shard
+    return times
+
+
+# -- standalone-sampler sweeps -------------------------------------------------
+
+
+def _sweep_point(
+    technique: str, params: SimulationParams, mttf: float, runs: int | None
+) -> np.ndarray:
+    """Worker body: one (technique, MTTF) point of a standard sweep."""
+    from .samplers import sample_technique
+
+    return sample_technique(technique, params.with_mttf(mttf), runs=runs)
+
+
+def sweep_samples_parallel(
+    points: list[tuple[str, float]],
+    params: SimulationParams,
+    *,
+    runs: int | None = None,
+    jobs: int | None = None,
+) -> list[np.ndarray]:
+    """Sample every ``(technique, mttf)`` point of a sweep, fanning points
+    out over *jobs* workers.  Point order (and therefore every sample
+    vector) matches the sequential evaluation exactly — each point draws
+    from its own seeded generator, so placement is irrelevant."""
+    jobs = min(resolve_jobs(jobs), len(points) or 1)
+    if jobs <= 1:
+        return [_sweep_point(t, params, m, runs) for t, m in points]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_sweep_point, t, params, m, runs) for t, m in points
+        ]
+        return [future.result() for future in futures]

@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..errors import SimulationError
+from .parallel import resolve_jobs, sweep_samples_parallel
 from .params import SimulationParams
 from .samplers import TECHNIQUES, sample_technique
 from .stats import Summary, summarize
@@ -52,10 +53,21 @@ class Series:
             raise SimulationError("series x and y lengths differ")
 
     def value_at(self, x: float) -> float:
+        """The y value at grid point *x*.
+
+        Matches with a relative tolerance rather than exact float equality:
+        sweep grids produced by float arithmetic (``np.linspace``, scaled
+        ranges) rarely hit query values like ``0.1*3`` bit-for-bit.  An
+        exact hit is preferred when both an exact and a close point exist.
+        """
         try:
             return self.y[self.x.index(x)]
         except ValueError:
-            raise SimulationError(f"series {self.label!r} has no point x={x}") from None
+            pass
+        for xi, yi in zip(self.x, self.y):
+            if math.isclose(xi, x, rel_tol=1e-9, abs_tol=1e-12):
+                return yi
+        raise SimulationError(f"series {self.label!r} has no point x={x}")
 
 
 def to_csv(x_label: str, series: Sequence[Series]) -> str:
@@ -115,9 +127,33 @@ def sweep_mttf(
     techniques: Iterable[str] = TECHNIQUES,
     *,
     runs: int | None = None,
+    jobs: int | None = None,
 ) -> dict[str, Series]:
-    """The paper's standard experiment: E[T] vs MTTF per technique."""
-    out: dict[str, Series] = {}
+    """The paper's standard experiment: E[T] vs MTTF per technique.
+
+    With ``jobs > 1`` the (technique, MTTF) points are sampled across a
+    process pool (:func:`repro.sim.parallel.sweep_samples_parallel`);
+    every point is independently seeded, so the series are identical to
+    the sequential evaluation.
+    """
+    techniques = list(techniques)
+    if resolve_jobs(jobs) > 1:
+        points = [(t, float(m)) for t in techniques for m in mttfs]
+        vectors = sweep_samples_parallel(points, params, runs=runs, jobs=jobs)
+        samples = dict(zip(points, vectors))
+        out: dict[str, Series] = {}
+        for technique in techniques:
+            summaries = tuple(
+                summarize(samples[(technique, float(m))]) for m in mttfs
+            )
+            out[technique] = Series(
+                label=TECHNIQUE_LABELS.get(technique, technique),
+                x=tuple(float(m) for m in mttfs),
+                y=tuple(s.mean for s in summaries),
+                summaries=summaries,
+            )
+        return out
+    out = {}
     for technique in techniques:
         out[technique] = sweep(
             mttfs,

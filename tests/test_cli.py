@@ -175,3 +175,61 @@ class TestCli:
         missing = tmp_path / "nope.xml"
         assert main(["run", str(missing), "--grid", str(grid_file)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestCliMc:
+    def test_sampler_table_output(self, capsys):
+        code = main(
+            ["mc", "--technique", "retrying", "--mttf", "50", "--runs", "200"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "standalone sampler" in out
+        assert "retrying" in out
+
+    def test_engine_json_output(self, capsys):
+        code = main(
+            [
+                "mc",
+                "--technique",
+                "checkpointing",
+                "--runs",
+                "5",
+                "--engine",
+                "--json",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["technique"] == "checkpointing"
+        assert row["mode"] == "engine"
+        assert row["runs"] == 5
+        assert row["mean"] > 0
+
+    def test_engine_jobs_value_does_not_change_results(self, capsys):
+        args = [
+            "mc",
+            "--technique",
+            "replication",
+            "--runs",
+            "6",
+            "--engine",
+            "--json",
+        ]
+        assert main(args + ["--jobs", "1"]) == 0
+        seq = json.loads(capsys.readouterr().out)
+        assert main(args + ["--jobs", "3"]) == 0
+        par = json.loads(capsys.readouterr().out)
+        assert seq == par
+
+    def test_all_techniques_default(self, capsys):
+        assert main(["mc", "--runs", "100", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["technique"] for r in rows] == [
+            "retrying",
+            "checkpointing",
+            "replication",
+            "replication_checkpointing",
+        ]

@@ -1,0 +1,170 @@
+"""Tests for the parallel Monte-Carlo execution layer.
+
+The load-bearing property is *bit-identity*: seed-sharded fan-out must
+produce exactly the sample vector of the sequential loop, for every
+technique and any worker count — otherwise "parallel" silently changes
+the science.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import TECHNIQUES
+from repro.sim.engine_mc import EngineSampler, engine_samples, run_engine_once
+from repro.sim.params import SimulationParams
+from repro.sim.parallel import (
+    SEED_STRIDE,
+    engine_samples_parallel,
+    resolve_jobs,
+    seed_for,
+    shard_bounds,
+    sweep_samples_parallel,
+)
+from repro.sim.runner import sweep_mttf
+
+FAULTY = SimulationParams(mttf=15.0, downtime=30.0)
+
+
+class TestSeedSharding:
+    def test_seed_for_is_strided(self):
+        assert seed_for(100, 0) == 100
+        assert seed_for(100, 3) == 100 + 3 * SEED_STRIDE
+
+    def test_shard_bounds_cover_range_contiguously(self):
+        bounds = shard_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+        sizes = [stop - start for start, stop in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_bounds_more_shards_than_runs(self):
+        assert shard_bounds(2, 5) == [(0, 1), (1, 2)]
+
+    def test_shard_bounds_zero_runs(self):
+        assert shard_bounds(0, 4) == []
+
+    def test_shard_bounds_rejects_bad_inputs(self):
+        with pytest.raises(SimulationError):
+            shard_bounds(-1, 2)
+        with pytest.raises(SimulationError):
+            shard_bounds(5, 0)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1  # "all cores"
+        assert resolve_jobs(-2) == resolve_jobs(0)
+
+
+class TestEngineSampler:
+    def test_reused_sampler_matches_fresh_grid_per_run(self):
+        # The in-place grid reset must reproduce a freshly constructed
+        # grid bit for bit, or object reuse changes results.
+        sampler = EngineSampler("checkpointing", FAULTY)
+        for seed in (1, 77, 20030623):
+            assert sampler.run(seed) == run_engine_once(
+                "checkpointing", FAULTY, seed=seed
+            )
+
+    def test_reused_sampler_matches_across_techniques(self):
+        for technique in TECHNIQUES:
+            sampler = EngineSampler(technique, FAULTY)
+            got = [sampler.run(seed) for seed in (5, 6)]
+            want = [
+                run_engine_once(technique, FAULTY, seed=seed) for seed in (5, 6)
+            ]
+            assert got == want, technique
+
+    def test_counts_kernel_events(self):
+        sampler = EngineSampler("retrying", FAULTY)
+        sampler.run(1)
+        after_one = sampler.events_processed
+        assert after_one > 0
+        sampler.run(2)
+        assert sampler.events_processed > after_one  # cumulative
+
+
+class TestParallelBitIdentity:
+    def test_jobs4_matches_jobs1_for_every_technique(self):
+        for technique in TECHNIQUES:
+            seq = engine_samples(technique, FAULTY, runs=8, jobs=1)
+            par = engine_samples(technique, FAULTY, runs=8, jobs=4)
+            assert np.array_equal(seq, par), technique
+
+    def test_matches_naive_per_run_loop(self):
+        seq = engine_samples("replication", FAULTY, runs=6, jobs=1)
+        naive = [
+            run_engine_once(
+                "replication", FAULTY, seed=seed_for(FAULTY.seed, i)
+            )
+            for i in range(6)
+        ]
+        assert seq.tolist() == naive
+
+    def test_base_seed_override(self):
+        a = engine_samples("retrying", FAULTY, runs=3, base_seed=42)
+        b = engine_samples_parallel(
+            "retrying", FAULTY, runs=3, base_seed=42, jobs=2
+        )
+        assert np.array_equal(a, b)
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(SimulationError):
+            engine_samples("retrying", FAULTY, runs=0)
+
+
+class TestWorkerFailureContext:
+    # A 1-virtual-second budget is unsatisfiable (the task alone takes 30),
+    # so every run fails; the error must carry replay context.
+    def test_sequential_error_carries_replay_context(self):
+        with pytest.raises(SimulationError) as info:
+            engine_samples("checkpointing", FAULTY, runs=2, jobs=1, timeout=1.0)
+        msg = str(info.value)
+        assert "technique='checkpointing'" in msg
+        assert "run_index=0" in msg
+        assert f"seed={FAULTY.seed}" in msg
+
+    def test_parallel_error_survives_process_boundary(self):
+        with pytest.raises(SimulationError) as info:
+            engine_samples("checkpointing", FAULTY, runs=4, jobs=2, timeout=1.0)
+        msg = str(info.value)
+        assert "technique='checkpointing'" in msg
+        assert "run_index=" in msg and "seed=" in msg
+
+
+class TestProfileHelper:
+    def test_profiles_the_sampler_loop(self):
+        import io
+
+        from repro.sim.profile import profile_engine_mc
+
+        out = io.StringIO()
+        stats = profile_engine_mc(
+            "retrying", FAULTY, runs=5, sort="tottime", limit=5, stream=out
+        )
+        assert stats is not None
+        assert "simkernel" in out.getvalue()
+
+
+class TestSweepParallel:
+    def test_points_match_sequential_evaluation(self):
+        params = SimulationParams(runs=500)
+        points = [("retrying", 10.0), ("retrying", 50.0), ("replication", 10.0)]
+        seq = sweep_samples_parallel(points, params, runs=500, jobs=1)
+        par = sweep_samples_parallel(points, params, runs=500, jobs=2)
+        assert len(seq) == len(par) == 3
+        for a, b in zip(seq, par):
+            assert np.array_equal(a, b)
+
+    def test_sweep_mttf_jobs_is_invisible_in_results(self):
+        params = SimulationParams(runs=400)
+        seq = sweep_mttf(params, [10, 50], techniques=("retrying", "replication"))
+        par = sweep_mttf(
+            params, [10, 50], techniques=("retrying", "replication"), jobs=2
+        )
+        for technique in ("retrying", "replication"):
+            assert seq[technique].x == par[technique].x
+            assert seq[technique].y == par[technique].y
+            assert seq[technique].label == par[technique].label

@@ -29,6 +29,27 @@ class TestSeries:
         with pytest.raises(SimulationError):
             s.value_at(3.0)
 
+    def test_value_at_tolerates_float_representation(self):
+        # Grids built arithmetically (np.linspace, accumulation) don't
+        # always hit the literal the caller writes: 0.1 + 0.2 != 0.3.
+        s = Series(label="x", x=(0.1 + 0.2, 1.0), y=(3.0, 10.0))
+        assert s.value_at(0.3) == 3.0
+
+    def test_value_at_accumulated_grid(self):
+        xs = []
+        v = 0.0
+        for _ in range(5):
+            v += 0.1
+            xs.append(v)  # 0.30000000000000004 lands in the grid
+        s = Series(label="x", x=tuple(xs), y=tuple(range(5)))
+        assert s.value_at(0.3) == 2
+        assert s.value_at(0.5) == 4
+
+    def test_value_at_isclose_is_not_a_net(self):
+        s = Series(label="x", x=(1.0, 2.0), y=(10.0, 20.0))
+        with pytest.raises(SimulationError):
+            s.value_at(1.001)  # near miss is still a miss
+
 
 class TestSweep:
     def test_sweep_collects_means_and_summaries(self):

@@ -71,6 +71,98 @@ class TestCancellation:
         h.cancel()
         assert kernel.pending() == 1
 
+    def test_double_cancel_is_idempotent(self, kernel):
+        h = kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert kernel.pending() == 1
+        assert kernel.run() == 1
+
+
+class TestCompaction:
+    # Cancellation is lazy (entries stay queued until popped); once enough
+    # pile up the heap is compacted in place.  These tests pin both the
+    # trigger and that compaction never changes observable behaviour.
+
+    def test_mass_cancellation_shrinks_the_heap(self, kernel):
+        handles = [kernel.schedule(float(i), lambda: None) for i in range(200)]
+        for h in handles[50:]:
+            h.cancel()
+        # Compaction triggers once cancellations clear the 64-entry floor
+        # AND outnumber the live entries (here: at the 100th cancel); the
+        # 50 stragglers after it stay below the floor and are dropped
+        # lazily on pop.
+        assert len(kernel._heap) == 100
+        assert kernel.pending() == 50
+        assert kernel.run() == 50
+
+    def test_firing_order_survives_compaction(self, kernel):
+        fired = []
+        keep = []
+        for i in range(200):
+            if i % 4 == 0:
+                keep.append(i)
+                kernel.schedule(float(i), lambda i=i: fired.append(i))
+            else:
+                kernel.schedule(float(i), lambda: None).cancel()
+        kernel.run()
+        assert fired == keep
+
+    def test_below_threshold_cancels_still_never_fire(self, kernel):
+        fired = []
+        handles = [
+            kernel.schedule(float(i), lambda i=i: fired.append(i))
+            for i in range(10)
+        ]
+        handles[3].cancel()
+        handles[7].cancel()
+        assert len(kernel._heap) == 10  # too few to compact
+        kernel.run()
+        assert fired == [i for i in range(10) if i not in (3, 7)]
+
+    def test_compaction_during_drain_is_safe(self, kernel):
+        # run() holds a local reference to the heap list; a callback that
+        # mass-cancels must compact in place without breaking the drain.
+        fired = []
+        later = []
+
+        def first() -> None:
+            fired.append(kernel.now())
+            for h in later:
+                h.cancel()
+
+        kernel.schedule(1.0, first)
+        later.extend(
+            kernel.schedule(2.0 + i, lambda: fired.append(-1))
+            for i in range(150)
+        )
+        kernel.schedule(500.0, lambda: fired.append(kernel.now()))
+        kernel.run()
+        assert fired == [1.0, 500.0]
+
+
+class TestReset:
+    def test_reset_restores_pristine_state(self, kernel):
+        kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None).cancel()
+        kernel.run()
+        kernel.schedule(9.0, lambda: None)
+        kernel.reset()
+        assert kernel.now() == 0.0
+        assert kernel.pending() == 0
+        assert kernel.events_processed == 0
+
+    def test_reset_restarts_fifo_tie_breaking(self, kernel):
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        kernel.reset()
+        order = []
+        for tag in "abc":
+            kernel.schedule(1.0, lambda t=tag: order.append(t))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
 
 class TestRun:
     def test_run_returns_event_count(self, kernel):
