@@ -16,8 +16,6 @@ conclusions are robust to the repair-time model.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from _common import emit, once
 
 from repro.sim import (

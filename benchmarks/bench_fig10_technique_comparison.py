@@ -26,7 +26,6 @@ from repro.sim import (
     PAPER_BASELINE,
     PAPER_MTTF_SWEEP,
     TECHNIQUES,
-    Series,
     ascii_chart,
     crossover,
     engine_samples,

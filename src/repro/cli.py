@@ -13,6 +13,8 @@ declarative simulated Grid:
     $ python -m repro.cli lint workflow.xml
     $ python -m repro.cli mc --technique all --mttf 20 --runs 2000 \\
           --engine --jobs 4
+    $ python -m repro.cli mc --mttf 20 \\
+          --technique replication+checkpointing,retry+backoff
 
 ``mc`` estimates expected completion times by Monte-Carlo — either with
 the vectorised standalone samplers (default) or by running the full
@@ -118,21 +120,65 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return 0 if result.succeeded else 1
 
 
+#: Spelling variants accepted by ``mc --technique`` (combined techniques
+#: may be written with ``+``, mirroring how policies compose).
+_TECHNIQUE_ALIASES = {
+    "retry": "retrying",
+    "checkpoint": "checkpointing",
+    "replication+checkpointing": "replication_checkpointing",
+    "checkpointing+replication": "replication_checkpointing",
+    "retry+backoff": "backoff_retry",
+    "retrying+backoff": "backoff_retry",
+    "backoff": "backoff_retry",
+}
+
+
+def _mc_techniques(value: str) -> list[str]:
+    """Resolve ``--technique`` to canonical names.
+
+    Accepts ``all`` (the paper's four), ``extended`` (plus backoff
+    retrying), canonical names, ``+``-combined aliases, and
+    comma-separated lists of any of those.
+    """
+    from .errors import SimulationError
+    from .sim import EXTENDED_TECHNIQUES, TECHNIQUES
+
+    if value == "all":
+        return list(TECHNIQUES)
+    if value == "extended":
+        return list(EXTENDED_TECHNIQUES)
+    techniques: list[str] = []
+    for name in value.split(","):
+        name = name.strip()
+        canonical = _TECHNIQUE_ALIASES.get(name, name)
+        if canonical not in EXTENDED_TECHNIQUES:
+            known = ("all", "extended") + EXTENDED_TECHNIQUES
+            known += tuple(sorted(_TECHNIQUE_ALIASES))
+            raise SimulationError(
+                f"unknown technique {name!r}; expected one of {known}"
+            )
+        if canonical not in techniques:
+            techniques.append(canonical)
+    return techniques
+
+
 def cmd_mc(args: argparse.Namespace) -> int:
     import json
 
     from .sim import (
-        TECHNIQUES,
         SimulationParams,
         engine_samples,
         sample_technique,
         summarize,
     )
 
-    techniques = list(TECHNIQUES) if args.technique == "all" else [args.technique]
+    techniques = _mc_techniques(args.technique)
     params = SimulationParams(
         mttf=args.mttf,
         downtime=args.downtime,
+        retry_interval=args.retry_interval,
+        backoff_factor=args.backoff,
+        max_retry_interval=args.max_interval if args.max_interval > 0 else None,
         runs=args.runs,
         seed=args.seed,
     )
@@ -231,17 +277,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument(
         "--technique",
         default="all",
-        choices=(
-            "all",
-            "retrying",
-            "checkpointing",
-            "replication",
-            "replication_checkpointing",
-        ),
-        help="failure-handling technique (default: all four)",
+        help="failure-handling technique(s): 'all' (the paper's four), "
+        "'extended' (plus backoff retrying), a canonical name, a "
+        "'+'-combined alias such as 'replication+checkpointing' or "
+        "'retry+backoff', or a comma-separated list (default: all)",
     )
     p_mc.add_argument("--mttf", type=float, default=20.0, help="mean time to failure")
     p_mc.add_argument("--downtime", type=float, default=0.0, help="mean downtime D")
+    p_mc.add_argument(
+        "--retry-interval",
+        type=float,
+        default=1.0,
+        help="base wait before a backoff_retry resubmission",
+    )
+    p_mc.add_argument(
+        "--backoff",
+        type=float,
+        default=2.0,
+        help="multiplier applied to the backoff_retry wait per retry",
+    )
+    p_mc.add_argument(
+        "--max-interval",
+        type=float,
+        default=8.0,
+        help="cap on the grown backoff_retry wait (0 = uncapped)",
+    )
     p_mc.add_argument(
         "--runs", type=int, default=1000, help="Monte-Carlo runs per technique"
     )

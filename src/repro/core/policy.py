@@ -13,14 +13,28 @@ activity:
   (Section 4.3).
 
 A :class:`FailurePolicy` value captures the per-activity configuration; the
-recovery coordinator consults it after each task crash failure.  Policies
-are plain immutable data so workflow specifications stay declarative and
+recovery coordinator resolves it to a composition of
+:class:`~repro.engine.strategies.RecoveryStrategy` objects.  Policies are
+plain immutable data so workflow specifications stay declarative and
 serializable.
+
+The paper's central claim is that the techniques *combine* freely
+(Section 6: replicas may each be retried; retried attempts restart from
+checkpoints).  The policy layer therefore exposes a small algebra: a
+``FailurePolicy`` decomposes into per-technique views
+(:class:`RetryConfig`, :class:`ReplicationConfig`, :class:`CheckpointConfig`
+via :attr:`FailurePolicy.retry` etc.), is rebuilt from them with
+:meth:`FailurePolicy.compose`, and is extended one technique at a time with
+the ``with_*`` combinators.  Retrying additionally supports exponential
+backoff (``interval * backoff_factor**(n-1)``, capped at ``max_interval``)
+— a standard Grid middleware refinement the paper's fixed ``interval``
+subsumes as the ``backoff_factor == 1`` case.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 from enum import Enum
 
 from ..errors import PolicyError
@@ -28,6 +42,9 @@ from ..errors import PolicyError
 __all__ = [
     "ResourceSelection",
     "ReplicationMode",
+    "RetryConfig",
+    "ReplicationConfig",
+    "CheckpointConfig",
     "FailurePolicy",
     "DEFAULT_POLICY",
 ]
@@ -60,6 +77,72 @@ class ReplicationMode(str, Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+# ---------------------------------------------------------------------------
+# Per-technique configuration views (the policy algebra's atoms)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """The retrying dimension of a policy: budget, pacing, placement."""
+
+    max_tries: int | None = 1
+    interval: float = 0.0
+    backoff_factor: float = 1.0
+    max_interval: float | None = None
+    resource_selection: ResourceSelection = ResourceSelection.SAME
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_tries is None or self.max_tries > 1
+
+    @property
+    def uses_backoff(self) -> bool:
+        return self.backoff_factor > 1.0
+
+    def delay_for(self, retry_number: int) -> float:
+        """Wait before the *retry_number*-th retry (1-based).
+
+        ``interval * backoff_factor**(retry_number - 1)``, capped at
+        ``max_interval`` when one is set.  With ``backoff_factor == 1``
+        this is the paper's fixed ``interval``.
+        """
+        if retry_number < 1:
+            raise PolicyError(
+                f"retry_number must be >= 1, got {retry_number}"
+            )
+        delay = self.interval * self.backoff_factor ** (retry_number - 1)
+        if self.max_interval is not None:
+            delay = min(delay, self.max_interval)
+        return delay
+
+    def total_delay(self, retries: int) -> float:
+        """Cumulative backoff wait across the first *retries* retries."""
+        return math.fsum(self.delay_for(n) for n in range(1, retries + 1))
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """The replication dimension of a policy."""
+
+    mode: ReplicationMode = ReplicationMode.NONE
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode is ReplicationMode.REPLICA
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """The checkpoint-restart dimension of a policy."""
+
+    restart_from_checkpoint: bool = True
+
+    @property
+    def enabled(self) -> bool:
+        return self.restart_from_checkpoint
 
 
 @dataclass(frozen=True)
@@ -104,6 +187,13 @@ class FailurePolicy:
         this many seconds, the framework cancels it and treats it as a
         task crash — so the retry/replication policy applies.  ``None``
         disables the limit.
+    backoff_factor:
+        Multiplier applied to ``interval`` per successive retry of the same
+        slot: the *n*-th retry waits ``interval * backoff_factor**(n-1)``.
+        ``1.0`` (the default) keeps the paper's fixed interval.
+    max_interval:
+        Upper bound on any single backoff wait; ``None`` leaves the
+        geometric growth uncapped.
     """
 
     max_tries: int | None = 1
@@ -113,6 +203,8 @@ class FailurePolicy:
     restart_from_checkpoint: bool = True
     retry_on_exception: bool = False
     attempt_timeout: float | None = None
+    backoff_factor: float = 1.0
+    max_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_tries is not None and self.max_tries < 1:
@@ -132,6 +224,14 @@ class FailurePolicy:
         if not isinstance(self.resource_selection, ResourceSelection):
             raise PolicyError(
                 f"invalid resource selection: {self.resource_selection!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise PolicyError(
+                f"backoff_factor must be >= 1.0, got {self.backoff_factor}"
+            )
+        if self.max_interval is not None and self.max_interval <= 0:
+            raise PolicyError(
+                f"max_interval must be positive or None, got {self.max_interval}"
             )
 
     # -- convenience constructors -------------------------------------------
@@ -160,6 +260,102 @@ class FailurePolicy:
             replication=ReplicationMode.REPLICA,
         )
 
+    @staticmethod
+    def backoff_retrying(
+        max_tries: int | None,
+        interval: float,
+        backoff_factor: float = 2.0,
+        max_interval: float | None = None,
+        resource_selection: ResourceSelection = ResourceSelection.SAME,
+    ) -> "FailurePolicy":
+        """Retrying with exponentially growing waits between attempts."""
+        return FailurePolicy(
+            max_tries=max_tries,
+            interval=interval,
+            backoff_factor=backoff_factor,
+            max_interval=max_interval,
+            resource_selection=resource_selection,
+        )
+
+    @staticmethod
+    def compose(
+        retry: RetryConfig | None = None,
+        replication: ReplicationConfig | None = None,
+        checkpoint: CheckpointConfig | None = None,
+        *,
+        retry_on_exception: bool = False,
+        attempt_timeout: float | None = None,
+    ) -> "FailurePolicy":
+        """Build a policy from per-technique configs (the algebra's join).
+
+        Omitted dimensions take their defaults, so
+        ``compose(retry=RetryConfig(max_tries=None))`` is plain retrying
+        and ``compose(retry=..., replication=ReplicationConfig(REPLICA))``
+        is the Section 6 combination.
+        """
+        retry = retry if retry is not None else RetryConfig()
+        replication = replication if replication is not None else ReplicationConfig()
+        checkpoint = checkpoint if checkpoint is not None else CheckpointConfig()
+        return FailurePolicy(
+            max_tries=retry.max_tries,
+            interval=retry.interval,
+            replication=replication.mode,
+            resource_selection=retry.resource_selection,
+            restart_from_checkpoint=checkpoint.restart_from_checkpoint,
+            retry_on_exception=retry_on_exception,
+            attempt_timeout=attempt_timeout,
+            backoff_factor=retry.backoff_factor,
+            max_interval=retry.max_interval,
+        )
+
+    # -- per-technique views --------------------------------------------------
+
+    @property
+    def retry(self) -> RetryConfig:
+        """The retrying dimension of this policy."""
+        return RetryConfig(
+            max_tries=self.max_tries,
+            interval=self.interval,
+            backoff_factor=self.backoff_factor,
+            max_interval=self.max_interval,
+            resource_selection=self.resource_selection,
+        )
+
+    @property
+    def replication_config(self) -> ReplicationConfig:
+        """The replication dimension of this policy."""
+        return ReplicationConfig(mode=self.replication)
+
+    @property
+    def checkpoint(self) -> CheckpointConfig:
+        """The checkpoint-restart dimension of this policy."""
+        return CheckpointConfig(
+            restart_from_checkpoint=self.restart_from_checkpoint
+        )
+
+    # -- combinators -----------------------------------------------------------
+
+    def with_retry(self, retry: RetryConfig) -> "FailurePolicy":
+        """Replace the retrying dimension, keeping everything else."""
+        return replace(
+            self,
+            max_tries=retry.max_tries,
+            interval=retry.interval,
+            backoff_factor=retry.backoff_factor,
+            max_interval=retry.max_interval,
+            resource_selection=retry.resource_selection,
+        )
+
+    def with_replication(
+        self, mode: ReplicationMode = ReplicationMode.REPLICA
+    ) -> "FailurePolicy":
+        """Replace the replication dimension, keeping everything else."""
+        return replace(self, replication=mode)
+
+    def with_checkpointing(self, enabled: bool = True) -> "FailurePolicy":
+        """Replace the checkpoint-restart dimension, keeping everything else."""
+        return replace(self, restart_from_checkpoint=enabled)
+
     # -- queries --------------------------------------------------------------
 
     @property
@@ -174,12 +370,32 @@ class FailurePolicy:
     def replicated(self) -> bool:
         return self.replication is ReplicationMode.REPLICA
 
+    @property
+    def uses_backoff(self) -> bool:
+        return self.backoff_factor > 1.0
+
     def tries_remaining(self, tries_used: int) -> float:
         """Tries still available after *tries_used* starts (``inf`` when
         retries are unlimited)."""
         if self.max_tries is None:
             return float("inf")
         return max(0, self.max_tries - tries_used)
+
+    def retry_delay(self, retry_number: int) -> float:
+        """Wait before the *retry_number*-th retry of a slot (1-based)."""
+        return self.retry.delay_for(retry_number)
+
+    def techniques(self) -> tuple[str, ...]:
+        """Names of the task-level techniques this policy activates, in
+        strategy-composition order (used in logs and ``describe``)."""
+        names: list[str] = []
+        if self.replicated:
+            names.append("replication")
+        if self.restart_from_checkpoint:
+            names.append("checkpointing")
+        if self.retries_enabled:
+            names.append("backoff_retry" if self.uses_backoff else "retrying")
+        return tuple(names)
 
     def describe(self) -> str:
         """Human-readable one-line summary (used in engine logs)."""
@@ -188,10 +404,15 @@ class FailurePolicy:
             parts.append("replicate across all resource options")
         if self.retries_enabled:
             limit = "unlimited" if self.max_tries is None else f"up to {self.max_tries}"
+            pacing = f"interval {self.interval:g}s"
+            if self.uses_backoff:
+                pacing += f" x{self.backoff_factor:g} backoff"
+                if self.max_interval is not None:
+                    pacing += f" capped at {self.max_interval:g}s"
             parts.append(
                 f"retry {limit} tries"
                 f" ({self.resource_selection.value} resource,"
-                f" interval {self.interval:g}s)"
+                f" {pacing})"
             )
         if self.restart_from_checkpoint:
             parts.append("restart from checkpoint when available")

@@ -1,5 +1,6 @@
 """The Grid-WFS workflow engine: instance tree, navigator, broker,
-two-level recovery coordination, engine checkpointing, and executors."""
+two-level recovery coordination via composable strategies, engine
+checkpointing, and executors."""
 
 from .broker import Broker, ResolvedOption
 from .checkpoint import EngineCheckpointer, load_checkpoint
@@ -19,6 +20,18 @@ from .navigator import (
     ready_nodes,
 )
 from .recovery import RecoveryCoordinator, TaskResolution
+from .strategies import (
+    DEFAULT_REGISTRY,
+    CheckpointRestartStrategy,
+    ExponentialBackoffRetryStrategy,
+    RecoveryStrategy,
+    ReplicateStrategy,
+    RetryDecision,
+    RetryStrategy,
+    SlotPlan,
+    StrategyRegistry,
+    resolve_strategy,
+)
 from .trace import EngineTrace, TraceEvent
 
 __all__ = [
@@ -41,6 +54,16 @@ __all__ = [
     "ready_nodes",
     "RecoveryCoordinator",
     "TaskResolution",
+    "DEFAULT_REGISTRY",
+    "CheckpointRestartStrategy",
+    "ExponentialBackoffRetryStrategy",
+    "RecoveryStrategy",
+    "ReplicateStrategy",
+    "RetryDecision",
+    "RetryStrategy",
+    "SlotPlan",
+    "StrategyRegistry",
+    "resolve_strategy",
     "EngineTrace",
     "TraceEvent",
 ]

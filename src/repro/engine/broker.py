@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from ..catalogs.resource import ResourceCatalog, ResourceQuery
 from ..core.policy import ResourceSelection
 from ..errors import BrokerError, NoResourceError
-from ..wpdl.model import Activity, Option, Program
+from ..wpdl.model import Activity, Program
 
 __all__ = ["Broker", "ResolvedOption"]
 
@@ -88,10 +88,18 @@ class Broker:
         *,
         failed_index: int,
         tries_used: int,
+        selection: ResourceSelection | None = None,
     ) -> int:
-        """Option index for the next try after a failure on *failed_index*."""
+        """Option index for the next try after a failure on *failed_index*.
+
+        *selection* is normally passed explicitly by the recovery strategy
+        (so the broker stays policy-agnostic); it defaults to the
+        activity's declared ``resource_selection`` for direct callers.
+        """
+        if selection is None:
+            selection = activity.policy.resource_selection
         count = len(program.options)
-        if activity.policy.resource_selection is ResourceSelection.SAME or count == 1:
+        if selection is ResourceSelection.SAME or count == 1:
             return failed_index
         # ROTATE: round-robin by try number, skipping the failed option
         # when an alternative exists.

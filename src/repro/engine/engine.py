@@ -32,6 +32,7 @@ from typing import Any, Callable, Mapping
 
 from ..ckpt.manager import CheckpointManager
 from ..core.exceptions import ExceptionBinding, ExceptionTable, UserException
+from ..core.policy import FailurePolicy
 from ..core.states import TaskState
 from ..detection.detector import (
     TASK_DONE,
@@ -60,6 +61,7 @@ from .navigator import (
     ready_nodes,
 )
 from .recovery import RecoveryCoordinator, TaskResolution
+from .strategies import RecoveryStrategy
 
 __all__ = [
     "WorkflowResult",
@@ -133,6 +135,7 @@ class WorkflowEngine:
         runtime: EngineRuntime | None = None,
         on_finished: Callable[[WorkflowResult], None] | None = None,
         validate_spec: bool = True,
+        strategy_resolver: Callable[[FailurePolicy], RecoveryStrategy] | None = None,
     ) -> None:
         if validate_spec and instance is None:
             validate(workflow)
@@ -170,6 +173,7 @@ class WorkflowEngine:
             for inst in self.instance.nodes.values()
             if inst.status is NodeStatus.RUNNING
         )
+        self._strategy_resolver = strategy_resolver
         self.coordinator = RecoveryCoordinator(
             self.runtime.service,
             self.runtime.detector,
@@ -177,6 +181,7 @@ class WorkflowEngine:
             self.runtime.reactor,
             on_resolution=self._on_resolution,
             checkpoints=self.runtime.checkpoints,
+            strategy_resolver=strategy_resolver,
         )
         self._subscriptions = [
             self.runtime.bus.subscribe(topic, self._on_task_event)
@@ -595,6 +600,7 @@ class _LoopRunner:
             runtime=self.parent.runtime,
             on_finished=self._body_finished,
             validate_spec=False,
+            strategy_resolver=self.parent._strategy_resolver,
         )
         self._child.start()
 

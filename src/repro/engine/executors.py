@@ -31,7 +31,7 @@ from typing import Any, Callable
 
 from ..ckpt.store import CheckpointStore, MemoryCheckpointStore
 from ..detection.api import TaskContext, TaskFailedSignal, UserExceptionSignal
-from ..detection.messages import Done, ExceptionNotice, Message, TaskEnd, TaskStart
+from ..detection.messages import Done, Message
 from ..errors import GridError
 from ..execution import ExecutionService, SubmitRequest
 from ..reactor import RealTimeReactor

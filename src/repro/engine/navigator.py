@@ -28,7 +28,7 @@ from __future__ import annotations
 from ..core.exceptions import UserException
 from ..errors import NavigationError
 from ..wpdl.conditions import evaluate_condition
-from ..wpdl.model import ConditionKind, JoinMode, Transition
+from ..wpdl.model import ConditionKind, JoinMode
 from .instance import EdgeState, NodeStatus, WorkflowInstance, WorkflowStatus
 
 __all__ = [

@@ -2,12 +2,13 @@
 
 Implements the paper's Figure 1 control flow on the task side:
 
-* **task-level masking**: after a detected task crash failure, consult the
-  activity's :class:`~repro.core.policy.FailurePolicy` — resubmit (retry)
-  after the configured interval, on the same or a rotated resource, from a
-  checkpoint flag when the task announced one; replicated activities keep
-  one retry loop per resource option and succeed on the first replica to
-  finish;
+* **task-level masking**: after a detected task crash failure, the
+  activity's :class:`~repro.core.policy.FailurePolicy` is resolved to a
+  composition of :class:`~repro.engine.strategies.RecoveryStrategy`
+  objects (retry / backoff-retry, wrapped by checkpoint-restart, wrapped
+  by replication) and the strategy decides structure and retries: how many
+  parallel slots to open, whether and where a crashed slot tries again,
+  and which checkpoint flag each attempt restarts from;
 * **fail to mask**: when every slot has exhausted its tries, the failure
   escapes the task level and is reported upward as an unmasked FAILED
   resolution — the workflow-level structure (alternative tasks, OR joins)
@@ -18,9 +19,11 @@ Implements the paper's Figure 1 control flow on the task side:
   immediately to the workflow level (Figure 1's "User-defined exception"
   arrow bypassing the task-level box).
 
-The coordinator is engine-passive: the engine feeds it detector outcomes
-and it answers with submissions (side effects on the execution service) or
-a terminal :class:`TaskResolution` callback.
+The coordinator itself is a thin mechanism layer: it owns slots, job
+bookkeeping, timers and resolution callbacks, and delegates every *policy*
+decision to the strategy stack.  It stays engine-passive: the engine feeds
+it detector outcomes and it answers with submissions (side effects on the
+execution service) or a terminal :class:`TaskResolution` callback.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from typing import Any, Callable
 
 from ..ckpt.manager import CheckpointManager
 from ..core.exceptions import UserException
+from ..core.policy import FailurePolicy
 from ..core.states import TaskState
 from ..detection.detector import AttemptOutcome, FailureDetector
 from ..errors import RecoveryError
@@ -37,6 +41,7 @@ from ..execution import ExecutionService, SubmitRequest
 from ..reactor import Reactor, TimerHandle
 from ..wpdl.model import Activity, Program
 from .broker import Broker, ResolvedOption
+from .strategies import RecoveryStrategy, resolve_strategy
 
 __all__ = ["TaskResolution", "RecoveryCoordinator", "ActivityRun"]
 
@@ -73,6 +78,7 @@ class ActivityRun:
 
     activity: Activity
     program: Program
+    strategy: RecoveryStrategy
     slots: list[_Slot] = field(default_factory=list)
     resolved: bool = False
 
@@ -82,7 +88,14 @@ class ActivityRun:
 
 
 class RecoveryCoordinator:
-    """Drives task-level failure handling for every running activity."""
+    """Drives task-level failure handling for every running activity.
+
+    *strategy_resolver* maps each activity's declarative policy to the
+    strategy stack that executes it; the default is
+    :func:`~repro.engine.strategies.resolve_strategy` over the default
+    registry.  Strategies are resolved once per activity start and are
+    stateless, so a resolver may cache or share instances freely.
+    """
 
     def __init__(
         self,
@@ -93,6 +106,7 @@ class RecoveryCoordinator:
         *,
         on_resolution: Callable[[TaskResolution], None],
         checkpoints: CheckpointManager | None = None,
+        strategy_resolver: Callable[[FailurePolicy], RecoveryStrategy] | None = None,
     ) -> None:
         self._service = service
         self._detector = detector
@@ -100,6 +114,9 @@ class RecoveryCoordinator:
         self._reactor = reactor
         self._on_resolution = on_resolution
         self.checkpoints = checkpoints or CheckpointManager()
+        self._resolve_strategy = (
+            strategy_resolver if strategy_resolver is not None else resolve_strategy
+        )
         self._runs: dict[str, ActivityRun] = {}
         self._job_index: dict[str, tuple[str, int]] = {}  # job_id -> (activity, slot)
 
@@ -120,15 +137,14 @@ class RecoveryCoordinator:
         """
         if activity.name in self._runs:
             raise RecoveryError(f"activity {activity.name!r} is already running")
-        run = ActivityRun(activity=activity, program=program)
-        if activity.policy.replicated:
-            targets = self._broker.resolve_all(activity, program)
-            run.slots = [
-                _Slot(index=i, option_index=t.option_index)
-                for i, t in enumerate(targets)
-            ]
-        else:
-            run.slots = [_Slot(index=0, option_index=0)]
+        strategy = self._resolve_strategy(activity.policy)
+        run = ActivityRun(activity=activity, program=program, strategy=strategy)
+        run.slots = [
+            _Slot(index=i, option_index=plan.option_index)
+            for i, plan in enumerate(
+                strategy.plan_slots(activity, program, self._broker)
+            )
+        ]
         if restored_state:
             self._restore_slots(run, restored_state)
         self._runs[activity.name] = run
@@ -237,9 +253,9 @@ class RecoveryCoordinator:
         target: ResolvedOption = self._broker.resolve_index(
             run.activity, run.program, slot.option_index
         )
-        flag = None
-        if run.activity.policy.restart_from_checkpoint:
-            flag = self.checkpoints.flag_for(self._flag_key(run, slot))
+        flag = run.strategy.submit_flag(
+            run.activity, self.checkpoints, self._flag_key(run, slot)
+        )
         request = SubmitRequest(
             activity=run.activity.name,
             executable=target.executable,
@@ -266,17 +282,18 @@ class RecoveryCoordinator:
         slot: _Slot,
         exception: UserException | None = None,
     ) -> None:
-        policy = run.activity.policy
-        if policy.tries_remaining(slot.tries_used) > 0:
-            slot.option_index = self._broker.retry_index(
-                run.activity,
-                run.program,
-                failed_index=slot.option_index,
-                tries_used=slot.tries_used,
-            )
-            if policy.interval > 0:
+        decision = run.strategy.next_attempt(
+            run.activity,
+            run.program,
+            self._broker,
+            failed_option=slot.option_index,
+            tries_used=slot.tries_used,
+        )
+        if decision is not None:
+            slot.option_index = decision.option_index
+            if decision.delay > 0:
                 slot.retry_timer = self._reactor.call_later(
-                    policy.interval, lambda: self._retry_fire(run, slot)
+                    decision.delay, lambda: self._retry_fire(run, slot)
                 )
             else:
                 self._retry_fire(run, slot)

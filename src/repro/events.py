@@ -8,13 +8,18 @@ synchronous and single-threaded (per reactor) preserves determinism inside
 the discrete-event simulation.
 
 Topics are plain strings.  Subscribers receive the published payload object.
-Hierarchical matching is supported with a trailing ``*`` wildcard, e.g. a
+Hierarchical matching is supported with a ``*`` wildcard, e.g. a
 subscription to ``"task.*"`` receives ``"task.done"`` and ``"task.failed"``.
+``*`` is the *only* metacharacter: ``?`` and ``[`` are ordinary characters,
+so topic names containing them cannot mis-match (earlier versions used
+:mod:`fnmatch` rules, where ``"data.[raw]"`` silently became a character
+class).  Patterns are compiled to anchored regular expressions once at
+subscription time instead of being re-interpreted on every publish.
 """
 
 from __future__ import annotations
 
-import fnmatch
+import re
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -42,9 +47,18 @@ class EventRecord:
     payload: Any
 
 
+def _compile_pattern(pattern: str) -> re.Pattern[str]:
+    """Anchored regex for a ``*``-wildcard pattern; everything else is
+    matched literally (``?``/``[`` included)."""
+    return re.compile(
+        ".*".join(re.escape(part) for part in pattern.split("*")) + r"\Z"
+    )
+
+
 @dataclass
 class _PatternEntry:
     pattern: str
+    regex: re.Pattern[str]
     handlers: dict[int, Handler] = field(default_factory=dict)
 
 
@@ -69,19 +83,24 @@ class EventBus:
     def subscribe(self, pattern: str, handler: Handler) -> Subscription:
         """Register *handler* for topics matching *pattern*.
 
-        Patterns without glob metacharacters are matched exactly (fast path);
-        patterns containing ``*``, ``?`` or ``[`` use :mod:`fnmatch` rules.
+        Patterns without a ``*`` are matched exactly (fast path); patterns
+        containing ``*`` match any substring at each wildcard position.
+        The regex is precompiled here, not re-derived per publish.
         """
         token = self._next_token
         self._next_token += 1
-        if any(ch in pattern for ch in "*?["):
+        if "*" in pattern:
             for entry in self._patterns:
                 if entry.pattern == pattern:
                     entry.handlers[token] = handler
                     break
             else:
                 self._patterns.append(
-                    _PatternEntry(pattern=pattern, handlers={token: handler})
+                    _PatternEntry(
+                        pattern=pattern,
+                        regex=_compile_pattern(pattern),
+                        handlers={token: handler},
+                    )
                 )
         else:
             self._exact[pattern][token] = handler
@@ -108,7 +127,7 @@ class EventBus:
             handler(topic, payload)
             delivered += 1
         for entry in self._patterns:
-            if fnmatch.fnmatchcase(topic, entry.pattern):
+            if entry.regex.match(topic):
                 for handler in list(entry.handlers.values()):
                     handler(topic, payload)
                     delivered += 1

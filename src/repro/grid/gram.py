@@ -20,7 +20,7 @@ Crash observability is configurable (``GramConfig.crash_detection``):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..ckpt.store import CheckpointStore

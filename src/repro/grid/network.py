@@ -23,7 +23,7 @@ actually cross the network.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..detection.messages import Message

@@ -15,13 +15,11 @@ alternating up/down host lifecycles) are built on top of it in
 Hot-path notes (this kernel executes tens of thousands of events per
 engine-level Monte-Carlo point, see ``benchmarks/bench_engine_mc.py``):
 
-* heap entries are plain ``[when, seq, callback]`` lists, so heap sift
-  comparisons run entirely in C (list comparison stops at ``seq``, which is
-  unique, and never reaches the callback);
-* cancellation is lazy — ``callback`` is replaced by ``None`` and the entry
-  is dropped when popped; when cancelled entries pile up the heap is
-  compacted in place so pathological cancel-heavy workloads (heartbeat
-  monitors, timer churn) stay O(live events);
+* pending events live in the shared :class:`repro.timerheap.TimerHeap`
+  (plain ``[when, seq, callback]`` list entries, lazy cancellation,
+  counter-driven in-place compaction) — the same structure backing the
+  wall-clock :class:`repro.reactor.RealTimeReactor`, so the two reactors
+  cannot drift apart;
 * the drain loops (:meth:`run`, :meth:`run_until`) pop inline instead of
   delegating to :meth:`step`, avoiding a method call per event.
 
@@ -34,16 +32,12 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
-from ..reactor import Reactor, TimerHandle, _Timer
+from ..reactor import Reactor, TimerHandle
+from ..timerheap import CALLBACK as _CALLBACK
+from ..timerheap import WHEN as _WHEN
+from ..timerheap import TimerHeap
 
 __all__ = ["SimKernel", "SimReactor", "PeriodicTask"]
-
-# Heap-entry slots: [when, seq, callback]; callback is None once cancelled.
-_WHEN, _SEQ, _CALLBACK = 0, 1, 2
-
-#: Compact the heap when at least this many entries are cancelled *and* they
-#: outnumber the live ones (amortises the rebuild over many cancellations).
-_COMPACT_MIN_CANCELLED = 64
 
 
 class EventHandle:
@@ -56,10 +50,7 @@ class EventHandle:
         self._entry = entry
 
     def cancel(self) -> None:
-        entry = self._entry
-        if entry[_CALLBACK] is not None:
-            entry[_CALLBACK] = None
-            self._kernel._note_cancelled()
+        self._kernel._timers.cancel(self._entry)
 
     @property
     def cancelled(self) -> bool:
@@ -83,9 +74,7 @@ class SimKernel:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[list] = []
-        self._seq = 0
-        self._cancelled = 0
+        self._timers = TimerHeap()
         self._events_processed = 0
 
     # -- clock ---------------------------------------------------------------
@@ -99,18 +88,21 @@ class SimKernel:
         """Total number of callbacks executed so far (diagnostics)."""
         return self._events_processed
 
+    @property
+    def _heap(self) -> list[list]:
+        """The underlying heap list (compaction diagnostics and tests)."""
+        return self._timers.heap
+
     def pending(self) -> int:
         """Number of queued, non-cancelled events."""
-        return sum(1 for e in self._heap if e[_CALLBACK] is not None)
+        return self._timers.live_count()
 
     def reset(self) -> None:
         """Return to the pristine just-constructed state: clock at zero,
         empty queue, sequence counter restarted (so a reused kernel
         reproduces a fresh one's FIFO tie-breaking exactly)."""
         self._now = 0.0
-        self._heap.clear()
-        self._seq = 0
-        self._cancelled = 0
+        self._timers.clear()
         self._events_processed = 0
 
     # -- scheduling ------------------------------------------------------------
@@ -119,45 +111,24 @@ class SimKernel:
         """Run *callback* ``delay`` virtual seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay!r})")
-        entry = [self._now + delay, self._seq, callback]
-        self._seq += 1
-        heapq.heappush(self._heap, entry)
-        return EventHandle(self, entry)
+        return EventHandle(self, self._timers.push(self._now + delay, callback))
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
         """Run *callback* at absolute virtual time *when* (>= now)."""
         return self.schedule(when - self._now, callback)
 
-    # -- cancellation bookkeeping ----------------------------------------------
-
-    def _note_cancelled(self) -> None:
-        self._cancelled += 1
-        if (
-            self._cancelled >= _COMPACT_MIN_CANCELLED
-            and self._cancelled * 2 >= len(self._heap)
-        ):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify, in place (the drain loops
-        hold a local reference to the heap list, so its identity must be
-        preserved)."""
-        self._heap[:] = [e for e in self._heap if e[_CALLBACK] is not None]
-        heapq.heapify(self._heap)
-        self._cancelled = 0
-
     # -- execution -------------------------------------------------------------
 
     def step(self) -> bool:
         """Process the single next event.  Returns ``False`` when idle."""
-        heap = self._heap
+        timers = self._timers
+        heap = timers.heap
         pop = heapq.heappop
         while heap:
             entry = pop(heap)
             callback = entry[_CALLBACK]
             if callback is None:
-                if self._cancelled:
-                    self._cancelled -= 1
+                timers.note_popped_cancelled()
                 continue
             self._now = entry[_WHEN]
             callback()
@@ -172,15 +143,15 @@ class SimKernel:
         that never stop); when exceeded a ``RuntimeError`` is raised.
         Returns the number of events processed by this call.
         """
-        heap = self._heap
+        timers = self._timers
+        heap = timers.heap
         pop = heapq.heappop
         processed = 0
         while heap:
             entry = pop(heap)
             callback = entry[_CALLBACK]
             if callback is None:
-                if self._cancelled:
-                    self._cancelled -= 1
+                timers.note_popped_cancelled()
                 continue
             self._now = entry[_WHEN]
             callback()
@@ -199,15 +170,15 @@ class SimKernel:
         Events scheduled exactly at *when* do fire.  Returns the number of
         events processed.
         """
-        heap = self._heap
+        timers = self._timers
+        heap = timers.heap
         pop = heapq.heappop
         processed = 0
         while heap:
             head = heap[0]
             if head[_CALLBACK] is None:
                 pop(heap)
-                if self._cancelled:
-                    self._cancelled -= 1
+                timers.note_popped_cancelled()
                 continue
             if head[_WHEN] > when:
                 break
@@ -262,20 +233,6 @@ class PeriodicTask:
         return self._stopped
 
 
-class _SimTimerHandle(TimerHandle):
-    """Timer handle whose cancellation also cancels the kernel event."""
-
-    __slots__ = ("_event_handle",)
-
-    def __init__(self, timer: _Timer, event_handle: EventHandle) -> None:
-        super().__init__(timer)
-        self._event_handle = event_handle
-
-    def cancel(self) -> None:
-        super().cancel()
-        self._event_handle.cancel()
-
-
 class SimReactor(Reactor):
     """Adapt a :class:`SimKernel` to the engine's :class:`Reactor` interface.
 
@@ -291,9 +248,9 @@ class SimReactor(Reactor):
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         handle = self.kernel.schedule(delay, callback)
-        # Wrap the kernel event in the reactor's TimerHandle type so engine
-        # code can treat both reactors uniformly.
-        return _SimTimerHandle(_Timer(handle.when, 0, callback), handle)
+        # Hand out the reactor's TimerHandle type over the same heap entry
+        # so engine code can treat both reactors uniformly.
+        return TimerHandle(self.kernel._timers, handle._entry)
 
     def post(self, callback: Callable[[], None]) -> None:
         self.kernel.schedule(0.0, callback)

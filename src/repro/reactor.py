@@ -17,49 +17,61 @@ Both reactors are *driven* (not threaded): callers pump them with
 :meth:`Reactor.run_until_idle` or :meth:`Reactor.run_for`.  The real-time
 reactor additionally accepts thread-safe wakeups via :meth:`Reactor.post` so
 worker threads can hand results back to the engine thread.
+
+Both reactors store pending timers in the shared
+:class:`~repro.timerheap.TimerHeap` (lazy cancellation, counter-driven
+in-place compaction), so cancel-heavy workloads behave identically in
+simulated and wall-clock time.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import threading
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable, ContextManager
+
+from .timerheap import CALLBACK, WHEN, TimerHeap
 
 __all__ = ["Reactor", "RealTimeReactor", "TimerHandle"]
 
 
-@dataclass(order=True)
-class _Timer:
-    when: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
 class TimerHandle:
-    """Opaque handle for a scheduled timer; supports cancellation."""
+    """Opaque handle for a scheduled timer; supports cancellation.
 
-    __slots__ = ("_timer",)
+    Wraps a :class:`~repro.timerheap.TimerHeap` entry.  When the owning
+    reactor is driven from multiple threads it supplies *lock*, which is
+    held around cancellation (cancelling may compact the heap in place).
+    """
 
-    def __init__(self, timer: _Timer) -> None:
-        self._timer = timer
+    __slots__ = ("_heap", "_entry", "_lock")
+
+    def __init__(
+        self,
+        heap: TimerHeap,
+        entry: list,
+        lock: ContextManager | None = None,
+    ) -> None:
+        self._heap = heap
+        self._entry = entry
+        self._lock = lock
 
     def cancel(self) -> None:
         """Prevent the timer's callback from running.  Idempotent."""
-        self._timer.cancelled = True
+        if self._lock is None:
+            self._heap.cancel(self._entry)
+        else:
+            with self._lock:
+                self._heap.cancel(self._entry)
 
     @property
     def cancelled(self) -> bool:
-        return self._timer.cancelled
+        return self._entry[CALLBACK] is None
 
     @property
     def when(self) -> float:
         """Absolute reactor time at which the timer fires."""
-        return self._timer.when
+        return self._entry[WHEN]
 
 
 class Reactor(ABC):
@@ -125,17 +137,17 @@ class Reactor(ABC):
 class RealTimeReactor(Reactor):
     """Wall-clock reactor for running workflows over the local executor.
 
-    Timers are kept in a heap keyed by ``time.monotonic()``; posted callbacks
-    arrive through a condition-guarded queue so worker threads can wake the
-    reactor.  The loop runs on whichever thread calls
-    :meth:`run_until_idle` — typically the thread that started the engine.
+    Timers are kept in a :class:`~repro.timerheap.TimerHeap` keyed by
+    ``time.monotonic()``; posted callbacks arrive through a
+    condition-guarded queue so worker threads can wake the reactor.  The
+    loop runs on whichever thread calls :meth:`run_until_idle` — typically
+    the thread that started the engine.
     """
 
     def __init__(self) -> None:
-        self._heap: list[_Timer] = []
+        self._timers = TimerHeap()
         self._posted: list[Callable[[], None]] = []
         self._cond = threading.Condition()
-        self._seq = itertools.count()
         self._origin = time.monotonic()
         #: Set by :meth:`stop` to abandon :meth:`run_until_idle` early.
         self._stopped = False
@@ -153,11 +165,10 @@ class RealTimeReactor(Reactor):
     def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay!r}")
-        timer = _Timer(self.now() + delay, next(self._seq), callback)
         with self._cond:
-            heapq.heappush(self._heap, timer)
+            entry = self._timers.push(self.now() + delay, callback)
             self._cond.notify()
-        return TimerHandle(timer)
+        return TimerHandle(self._timers, entry, lock=self._cond)
 
     def post(self, callback: Callable[[], None]) -> None:
         with self._cond:
@@ -177,12 +188,16 @@ class RealTimeReactor(Reactor):
                 cb()
             if callbacks:
                 continue  # re-check posted queue before sleeping
-            timer = self._pop_due()
-            if timer is not None:
-                timer.callback()
+            callback = self._pop_due()
+            if callback is not None:
+                callback()
                 continue
             with self._cond:
-                if not self._posted and not self._heap and self._keepalives == 0:
+                if (
+                    not self._posted
+                    and not self._timers.heap
+                    and self._keepalives == 0
+                ):
                     return
                 wait = self._next_wait(deadline)
                 if wait is not None and wait <= 0:
@@ -214,29 +229,27 @@ class RealTimeReactor(Reactor):
 
     def _has_work(self) -> bool:
         with self._cond:
-            live_timers = any(not t.cancelled for t in self._heap)
-            return bool(self._posted) or live_timers or self._keepalives > 0
+            return (
+                bool(self._posted)
+                or self._timers.live_count() > 0
+                or self._keepalives > 0
+            )
 
-    def _pop_due(self) -> _Timer | None:
-        now = self.now()
+    def _pop_due(self) -> Callable[[], None] | None:
+        """The callback of the next due live timer, or ``None``."""
         with self._cond:
-            while self._heap:
-                if self._heap[0].cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if self._heap[0].when <= now:
-                    return heapq.heappop(self._heap)
-                break
+            entry = self._timers.pop_due(self.now())
+            if entry is not None:
+                return entry[CALLBACK]
         return None
 
     def _next_wait(self, deadline: float | None) -> float | None:
         """Seconds to sleep before the next interesting moment (caller holds
         the condition lock)."""
         candidates: list[float] = []
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            candidates.append(self._heap[0].when - self.now())
+        head = self._timers.peek_live()
+        if head is not None:
+            candidates.append(head[WHEN] - self.now())
         if deadline is not None:
             candidates.append(deadline - self.now())
         if not candidates:

@@ -51,7 +51,9 @@ from .runner import (
     to_csv,
 )
 from .samplers import (
+    EXTENDED_TECHNIQUES,
     TECHNIQUES,
+    sample_backoff_retry,
     sample_checkpointing,
     sample_replication,
     sample_replication_checkpointing,
@@ -98,6 +100,8 @@ __all__ = [
     "sweep_mttf",
     "to_csv",
     "TECHNIQUES",
+    "EXTENDED_TECHNIQUES",
+    "sample_backoff_retry",
     "sample_checkpointing",
     "sample_replication",
     "sample_replication_checkpointing",

@@ -31,7 +31,7 @@ from ..grid.simgrid import GridConfig, SimulatedGrid
 from ..wpdl.builder import WorkflowBuilder
 from ..wpdl.model import Workflow
 from .params import SimulationParams
-from .samplers import TECHNIQUES
+from .samplers import EXTENDED_TECHNIQUES
 
 __all__ = [
     "run_engine_once",
@@ -44,7 +44,7 @@ _HOST_PREFIX = "node"
 
 
 def _behavior(technique: str, params: SimulationParams) -> TaskBehavior:
-    if technique in ("retrying", "replication"):
+    if technique in ("retrying", "replication", "backoff_retry"):
         return FixedDurationTask(params.failure_free_time)
     if technique in ("checkpointing", "replication_checkpointing"):
         return CheckpointingTask(
@@ -54,7 +54,7 @@ def _behavior(technique: str, params: SimulationParams) -> TaskBehavior:
             recovery_time=params.recovery_time,
         )
     raise SimulationError(
-        f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
+        f"unknown technique {technique!r}; expected one of {EXTENDED_TECHNIQUES}"
     )
 
 
@@ -65,14 +65,29 @@ def _host_count(technique: str, params: SimulationParams) -> int:
 def build_technique_workflow(
     technique: str, params: SimulationParams
 ) -> Workflow:
-    """Single-activity workflow encoding *technique* in WPDL terms."""
-    if technique not in TECHNIQUES:
+    """Single-activity workflow encoding *technique* in WPDL terms.
+
+    The policy feeds :func:`~repro.engine.strategies.resolve_strategy`, so
+    each technique exercises its strategy composition end to end
+    (``replication_checkpointing`` runs
+    ``replicate(checkpoint_restart(retry))``, ``backoff_retry`` runs the
+    exponential-backoff loop, …).
+    """
+    if technique not in EXTENDED_TECHNIQUES:
         raise SimulationError(
-            f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
+            f"unknown technique {technique!r}; "
+            f"expected one of {EXTENDED_TECHNIQUES}"
         )
     hosts = [f"{_HOST_PREFIX}{i}" for i in range(_host_count(technique, params))]
     if technique.startswith("replication"):
         policy = FailurePolicy.replica(max_tries=None)
+    elif technique == "backoff_retry":
+        policy = FailurePolicy.backoff_retrying(
+            None,
+            interval=params.retry_interval,
+            backoff_factor=params.backoff_factor,
+            max_interval=params.max_retry_interval,
+        )
     else:
         policy = FailurePolicy.retrying(None)
     return (

@@ -53,6 +53,13 @@ class SimulationParams:
     checkpoints: int = 20
     #: Number of replicas N (the paper uses 3).
     replicas: int = 3
+    #: Base wait before a retry (the ``backoff_retry`` technique only; the
+    #: paper's plain retrying resubmits immediately).
+    retry_interval: float = 1.0
+    #: Multiplier applied to the wait on each successive retry.
+    backoff_factor: float = 2.0
+    #: Cap on the grown retry wait (``None`` leaves it unbounded).
+    max_retry_interval: float | None = 8.0
     #: Monte-Carlo sample count (the paper found 100 000 sufficient).
     runs: int = 100_000
     seed: int = 20030623
@@ -79,6 +86,19 @@ class SimulationParams:
             )
         if self.replicas < 1:
             raise SimulationError(f"replicas must be >= 1, got {self.replicas!r}")
+        if self.retry_interval < 0:
+            raise SimulationError(
+                f"retry_interval must be >= 0, got {self.retry_interval!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise SimulationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        if self.max_retry_interval is not None and self.max_retry_interval <= 0:
+            raise SimulationError(
+                "max_retry_interval must be positive or None, "
+                f"got {self.max_retry_interval!r}"
+            )
         if self.runs < 1:
             raise SimulationError(f"runs must be >= 1, got {self.runs!r}")
 
@@ -110,6 +130,19 @@ class SimulationParams:
 
     def with_replicas(self, replicas: int) -> "SimulationParams":
         return replace(self, replicas=replicas)
+
+    def with_backoff(
+        self,
+        retry_interval: float,
+        backoff_factor: float = 2.0,
+        max_retry_interval: float | None = None,
+    ) -> "SimulationParams":
+        return replace(
+            self,
+            retry_interval=retry_interval,
+            backoff_factor=backoff_factor,
+            max_retry_interval=max_retry_interval,
+        )
 
 
 #: Figures 10–12 configuration: F=30, K=20, C=R=0.5, N=3, D=0.

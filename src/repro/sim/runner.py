@@ -36,6 +36,7 @@ TECHNIQUE_LABELS = {
     "checkpointing": "Checkpointing",
     "replication": "Replication",
     "replication_checkpointing": "Replication w/ checkpointing",
+    "backoff_retry": "Retrying w/ backoff",
 }
 
 

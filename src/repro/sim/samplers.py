@@ -1,4 +1,4 @@
-"""Vectorised Monte-Carlo samplers for the four recovery techniques.
+"""Vectorised Monte-Carlo samplers for the recovery techniques.
 
 These reproduce the paper's standalone completion-time simulation
 (Section 8.1) with NumPy-vectorised sampling — 100 000 runs per point, the
@@ -19,9 +19,18 @@ models of :mod:`repro.sim.analytical`, so Figures 8–9's validation holds):
   task completes when the first replica does (min of N samples).
 * **Replication w/ checkpointing** — min of N independent checkpointing
   processes.
+* **Backoff retrying** — retrying, but the *n*-th resubmission waits
+  ``retry_interval * backoff_factor**(n-1)`` (capped at
+  ``max_retry_interval``) before starting.  Failures are memoryless, so
+  the wait never changes an attempt's success probability — it is pure
+  additive idle time, mirroring the engine's
+  :class:`~repro.engine.strategies.ExponentialBackoffRetryStrategy`.
 
 Every sampler returns the full vector of per-run completion times so
 callers can compute any statistic (the figures use the mean).
+
+:data:`TECHNIQUES` stays the paper's four (Figure 10 sweeps depend on it);
+:data:`EXTENDED_TECHNIQUES` appends ``backoff_retry``.
 """
 
 from __future__ import annotations
@@ -30,16 +39,19 @@ import math
 
 import numpy as np
 
+from ..core.policy import RetryConfig
 from ..errors import SimulationError
 from .params import SimulationParams
 
 __all__ = [
     "sample_retry",
+    "sample_backoff_retry",
     "sample_checkpointing",
     "sample_replication",
     "sample_replication_checkpointing",
     "sample_technique",
     "TECHNIQUES",
+    "EXTENDED_TECHNIQUES",
 ]
 
 #: Public technique names, in the paper's Figure 10 order.
@@ -49,6 +61,9 @@ TECHNIQUES = (
     "replication",
     "replication_checkpointing",
 )
+
+#: The paper's four plus this repo's backoff-retry extension.
+EXTENDED_TECHNIQUES = TECHNIQUES + ("backoff_retry",)
 
 _MAX_ROUNDS = 10_000_000  # runaway guard for pathological λF
 
@@ -101,6 +116,55 @@ def sample_retry(
             lost = ttf[~succeeded]
             down = _downtime_draws(params, rng, failed.size)
             total[failed] += lost + down
+        alive = failed
+    return total
+
+
+def sample_backoff_retry(
+    params: SimulationParams,
+    *,
+    rng: np.random.Generator | None = None,
+    runs: int | None = None,
+) -> np.ndarray:
+    """Per-run completion times under restart-from-scratch recovery with
+    exponential backoff between resubmissions.
+
+    Identical to :func:`sample_retry` except that the *n*-th resubmission
+    adds the deterministic wait :meth:`RetryConfig.delay_for` — the same
+    formula the engine's backoff strategy uses, so engine-vs-sampler
+    agreement tests exercise one shared schedule.
+    """
+    runs = params.runs if runs is None else runs
+    rng = rng if rng is not None else _rng(params, 5)
+    F = params.failure_free_time
+    lam = params.failure_rate
+    if lam == 0.0:
+        return np.full(runs, F)
+    schedule = RetryConfig(
+        max_tries=None,
+        interval=params.retry_interval,
+        backoff_factor=params.backoff_factor,
+        max_interval=params.max_retry_interval,
+    )
+    total = np.zeros(runs)
+    alive = np.arange(runs)
+    mttf = 1.0 / lam
+    rounds = 0
+    while alive.size:
+        rounds += 1
+        if rounds > _MAX_ROUNDS:  # pragma: no cover - parameter sanity guard
+            raise SimulationError(
+                f"backoff retry sampling did not converge (λF = {lam * F:.3f})"
+            )
+        ttf = rng.exponential(mttf, size=alive.size)
+        succeeded = ttf >= F
+        total[alive[succeeded]] += F
+        failed = alive[~succeeded]
+        if failed.size:
+            lost = ttf[~succeeded]
+            down = _downtime_draws(params, rng, failed.size)
+            # Every run failing in round n waits the same n-th retry delay.
+            total[failed] += lost + down + schedule.delay_for(rounds)
         alive = failed
     return total
 
@@ -186,6 +250,7 @@ _SAMPLERS = {
     "checkpointing": sample_checkpointing,
     "replication": sample_replication,
     "replication_checkpointing": sample_replication_checkpointing,
+    "backoff_retry": sample_backoff_retry,
 }
 
 
@@ -196,11 +261,12 @@ def sample_technique(
     rng: np.random.Generator | None = None,
     runs: int | None = None,
 ) -> np.ndarray:
-    """Dispatch by technique name (see :data:`TECHNIQUES`)."""
+    """Dispatch by technique name (see :data:`EXTENDED_TECHNIQUES`)."""
     try:
         sampler = _SAMPLERS[technique]
     except KeyError:
         raise SimulationError(
-            f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
+            f"unknown technique {technique!r}; "
+            f"expected one of {EXTENDED_TECHNIQUES}"
         ) from None
     return sampler(params, rng=rng, runs=runs)

@@ -1,0 +1,128 @@
+"""Shared timer heap with lazy cancellation and counter-driven compaction.
+
+Both reactors — the wall-clock :class:`repro.reactor.RealTimeReactor` and
+the virtual-time :class:`repro.grid.simkernel.SimKernel` — keep their
+pending timers in the same data structure so the two scheduling paths
+cannot drift apart:
+
+* heap entries are plain ``[when, seq, callback]`` lists, so heap sift
+  comparisons run entirely in C (list comparison stops at ``seq``, which is
+  unique, and never reaches the callback);
+* cancellation is lazy — ``callback`` is replaced by ``None`` and the entry
+  is dropped when popped; when cancelled entries pile up the heap is
+  compacted in place so pathological cancel-heavy workloads (heartbeat
+  monitors, timer churn) stay O(live events);
+* compaction rebuilds the list *in place* (``heap[:] = ...``) because drain
+  loops hold a local reference to it.
+
+Owners that pop entries inline (the simulation kernel's drain loops) must
+call :meth:`TimerHeap.note_popped_cancelled` whenever they pop an entry
+whose callback is ``None``, keeping the cancellation counter honest.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["TimerHeap", "WHEN", "SEQ", "CALLBACK", "COMPACT_MIN_CANCELLED"]
+
+# Heap-entry slots: [when, seq, callback]; callback is None once cancelled.
+WHEN, SEQ, CALLBACK = 0, 1, 2
+
+#: Compact the heap when at least this many entries are cancelled *and* they
+#: outnumber the live ones (amortises the rebuild over many cancellations).
+COMPACT_MIN_CANCELLED = 64
+
+
+class TimerHeap:
+    """A min-heap of ``[when, seq, callback]`` entries.
+
+    Not thread-safe on its own; concurrent owners (the real-time reactor)
+    must serialise every call, including :meth:`cancel` — compaction
+    mutates the heap list.
+    """
+
+    __slots__ = ("heap", "_seq", "_cancelled")
+
+    def __init__(self) -> None:
+        #: The underlying heap list.  Owners may read it directly for hot
+        #: drain loops; mutation goes through the methods below.
+        self.heap: list[list] = []
+        self._seq = 0
+        self._cancelled = 0
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    # -- scheduling --------------------------------------------------------
+
+    def push(self, when: float, callback: Callable[[], None]) -> list:
+        """Queue *callback* at absolute time *when*; returns the entry."""
+        entry = [when, self._seq, callback]
+        self._seq += 1
+        heapq.heappush(self.heap, entry)
+        return entry
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, entry: list) -> None:
+        """Cancel *entry*'s callback.  Idempotent; may compact the heap."""
+        if entry[CALLBACK] is not None:
+            entry[CALLBACK] = None
+            self.note_cancelled()
+
+    def note_cancelled(self) -> None:
+        """Record one external cancellation (entry already nulled out)."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self.heap)
+        ):
+            self.compact()
+
+    def note_popped_cancelled(self) -> None:
+        """Record that the owner popped an already-cancelled entry."""
+        if self._cancelled:
+            self._cancelled -= 1
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place (drain loops
+        hold a local reference to the heap list, so its identity must be
+        preserved)."""
+        self.heap[:] = [e for e in self.heap if e[CALLBACK] is not None]
+        heapq.heapify(self.heap)
+        self._cancelled = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def live_count(self) -> int:
+        """Number of queued, non-cancelled entries."""
+        return sum(1 for e in self.heap if e[CALLBACK] is not None)
+
+    def peek_live(self) -> list | None:
+        """The next live entry without removing it (drops cancelled heads)."""
+        heap = self.heap
+        while heap:
+            if heap[0][CALLBACK] is None:
+                heapq.heappop(heap)
+                self.note_popped_cancelled()
+                continue
+            return heap[0]
+        return None
+
+    def pop_due(self, now: float) -> list | None:
+        """Remove and return the next live entry with ``when <= now``."""
+        head = self.peek_live()
+        if head is not None and head[WHEN] <= now:
+            return heapq.heappop(self.heap)
+        return None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def clear(self) -> None:
+        """Forget every entry and restart the sequence counter (so a reused
+        heap reproduces a fresh one's FIFO tie-breaking exactly)."""
+        self.heap.clear()
+        self._seq = 0
+        self._cancelled = 0

@@ -36,6 +36,8 @@ __all__ = [
     "Option",
     "Parameter",
     "Program",
+    "Rethrow",
+    "SubWorkflow",
     "Transition",
     "TransitionCondition",
     "Workflow",

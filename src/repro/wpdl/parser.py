@@ -34,8 +34,11 @@ Section 7 feature list:
     </Workflow>
 
 Retrying is ``max_tries`` / ``interval`` on the activity (``max_tries`` may
-be ``'unlimited'``); replication is ``policy='replica'``; a missing
-``<Implement>`` makes the activity a dummy task.
+be ``'unlimited'``); ``backoff`` / ``max_interval`` grow the inter-try wait
+geometrically; replication is ``policy='replica'``; a missing
+``<Implement>`` makes the activity a dummy task.  Techniques combine
+freely: ``policy='replica' restart_from_checkpoint='true' max_tries='3'``
+is replication whose replicas each retry from their checkpoints.
 """
 
 from __future__ import annotations
@@ -264,6 +267,22 @@ def _parse_policy(elem: ET.Element, name: str) -> FailurePolicy:
             raise ParseError(
                 f"activity {name!r}: timeout must be a number"
             ) from None
+    try:
+        backoff_factor = float(elem.get("backoff", "1"))
+    except ValueError:
+        raise ParseError(
+            f"activity {name!r}: backoff must be a number"
+        ) from None
+    raw_max_interval = elem.get("max_interval")
+    if raw_max_interval is None:
+        max_interval = None
+    else:
+        try:
+            max_interval = float(raw_max_interval)
+        except ValueError:
+            raise ParseError(
+                f"activity {name!r}: max_interval must be a number"
+            ) from None
     return FailurePolicy(
         max_tries=max_tries,
         interval=interval,
@@ -272,6 +291,8 @@ def _parse_policy(elem: ET.Element, name: str) -> FailurePolicy:
         restart_from_checkpoint=restart,
         retry_on_exception=retry_exc,
         attempt_timeout=attempt_timeout,
+        backoff_factor=backoff_factor,
+        max_interval=max_interval,
     )
 
 

@@ -31,6 +31,8 @@ WPDL_DTD = """\
     name                    CDATA #REQUIRED
     max_tries               CDATA "1"
     interval                CDATA "0"
+    backoff                 CDATA "1"
+    max_interval            CDATA #IMPLIED
     policy                  (none|replica) "none"
     resource_selection      (same|rotate) "same"
     restart_from_checkpoint (true|false) "true"
@@ -100,6 +102,8 @@ ELEMENTS: dict[str, tuple[frozenset[str], frozenset[str]]] = {
                 "name",
                 "max_tries",
                 "interval",
+                "backoff",
+                "max_interval",
                 "policy",
                 "resource_selection",
                 "restart_from_checkpoint",

@@ -90,6 +90,10 @@ def _activity_to_element(activity: Activity) -> ET.Element:
         attrs["max_tries"] = str(policy.max_tries)
     if policy.interval != 0.0:
         attrs["interval"] = repr(policy.interval)
+    if policy.backoff_factor != 1.0:
+        attrs["backoff"] = repr(policy.backoff_factor)
+    if policy.max_interval is not None:
+        attrs["max_interval"] = repr(policy.max_interval)
     if policy.replication is not ReplicationMode.NONE:
         attrs["policy"] = policy.replication.value
     if policy.resource_selection is not ResourceSelection.SAME:

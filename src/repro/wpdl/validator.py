@@ -8,7 +8,8 @@ validated recursively):
 * acyclicity — the control-flow graph is a DAG (iteration must use
   :class:`~repro.wpdl.model.Loop`, not back-edges);
 * policy consistency — ``policy='replica'`` needs at least two resource
-  options; retry rotation needs a program to rotate within;
+  options; retry rotation needs a program to rotate within; exponential
+  backoff needs a base interval to grow from and a cap no smaller than it;
 * condition well-formedness — every EXPR/loop condition compiles in the
   safe expression subset;
 * reachability — every node is reachable from an entry node (no orphaned
@@ -171,6 +172,20 @@ def _check_activity(workflow: Workflow, activity: Activity, prefix: str) -> list
     if activity.dummy and activity.policy.replication is ReplicationMode.REPLICA:
         problems.append(
             f"{prefix}: dummy activity {activity.name!r} cannot be replicated"
+        )
+    policy = activity.policy
+    if policy.uses_backoff and policy.interval == 0.0:
+        problems.append(
+            f"{prefix}: activity {activity.name!r} declares backoff="
+            f"{policy.backoff_factor:g} but interval=0 (nothing to grow)"
+        )
+    if (
+        policy.max_interval is not None
+        and policy.max_interval < policy.interval
+    ):
+        problems.append(
+            f"{prefix}: activity {activity.name!r} has max_interval="
+            f"{policy.max_interval:g} below interval={policy.interval:g}"
         )
     return problems
 

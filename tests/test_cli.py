@@ -233,3 +233,60 @@ class TestCliMc:
             "replication",
             "replication_checkpointing",
         ]
+
+
+class TestCliMcTechniqueAliases:
+    """Combined-technique spellings resolve through ``_mc_techniques``."""
+
+    def test_combined_aliases_resolve(self, capsys):
+        code = main(
+            [
+                "mc",
+                "--technique",
+                "replication+checkpointing,retry+backoff",
+                "--runs",
+                "100",
+                "--json",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["technique"] for r in rows] == [
+            "replication_checkpointing",
+            "backoff_retry",
+        ]
+
+    def test_extended_selects_all_five(self, capsys):
+        assert main(["mc", "--technique", "extended", "--runs", "50", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["technique"] for r in rows] == [
+            "retrying",
+            "checkpointing",
+            "replication",
+            "replication_checkpointing",
+            "backoff_retry",
+        ]
+
+    def test_unknown_technique_exits_with_error(self, capsys):
+        assert main(["mc", "--technique", "hope", "--runs", "10"]) == 2
+        assert "unknown technique" in capsys.readouterr().err
+
+    def test_backoff_flags_reach_sampler(self, capsys):
+        # An aggressive cap keeps waits short; just check it runs and labels.
+        code = main(
+            [
+                "mc",
+                "--technique",
+                "backoff",
+                "--runs",
+                "200",
+                "--mttf",
+                "50",
+                "--backoff",
+                "3.0",
+                "--max-interval",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "backoff_retry" in capsys.readouterr().out

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.events import EventBus
 
 
@@ -47,6 +45,49 @@ class TestSubscribe:
         bus.subscribe("a.*", lambda t, p: seen.append("pattern"))
         assert bus.publish("a.b", None) == 2
         assert set(seen) == {"exact", "pattern"}
+
+
+class TestLiteralMetacharacters:
+    """Only ``*`` is a wildcard; regex/fnmatch metacharacters in topic
+    names and patterns match themselves."""
+
+    def test_brackets_in_pattern_match_literally(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("task[0].*", lambda t, p: seen.append(t))
+        bus.publish("task[0].done", None)
+        bus.publish("task0.done", None)  # fnmatch would have matched '[0]'
+        assert seen == ["task[0].done"]
+
+    def test_question_mark_is_not_a_wildcard(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("probe?.*", lambda t, p: seen.append(t))
+        bus.publish("probe?.ok", None)
+        bus.publish("probe1.ok", None)  # fnmatch '?' would have matched '1'
+        assert seen == ["probe?.ok"]
+
+    def test_dots_match_literally_not_as_regex(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a.b", lambda t, p: seen.append(t))
+        bus.publish("aXb", None)
+        assert seen == []
+
+    def test_star_matches_empty_and_across_separators(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("task.*done", lambda t, p: seen.append(t))
+        bus.publish("task.done", None)
+        bus.publish("task.sub.done", None)
+        assert seen == ["task.done", "task.sub.done"]
+
+    def test_pattern_must_match_whole_topic(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("task.*", lambda t, p: seen.append(t))
+        bus.publish("subtask.done", None)
+        assert seen == []
 
 
 class TestUnsubscribe:

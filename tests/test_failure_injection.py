@@ -17,7 +17,7 @@ from repro.grid import (
     SimulatedGrid,
     inject_partition,
 )
-from repro.wpdl import JoinMode, WorkflowBuilder
+from repro.wpdl import WorkflowBuilder
 
 
 def single_task(policy=None, hosts=("h1",)):

@@ -7,9 +7,7 @@ monotonicity/dominance, and condition-evaluator safety.
 
 from __future__ import annotations
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st

@@ -48,6 +48,34 @@ class TestTimers:
         assert fired == [1]
 
 
+class TestHeapCompaction:
+    """The reactor shares :class:`repro.timerheap.TimerHeap` with the sim
+    kernel: mass cancellation compacts the heap instead of leaving dead
+    entries until their deadlines."""
+
+    def test_mass_cancellation_compacts_heap(self, rt):
+        handles = [rt.call_later(30.0, lambda: None) for _ in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        # Compaction triggered at >= 64 cancelled and cancelled >= half the
+        # heap: 150 cancels on 200 entries leave well under 200 entries.
+        assert len(rt._timers.heap) < 200
+        assert rt._timers.live_count() == 50
+        for handle in handles[150:]:
+            handle.cancel()
+        rt.run_until_idle(timeout=0.5)  # returns promptly: nothing live
+
+    def test_cancelled_timers_do_not_fire(self, rt):
+        fired = []
+        handles = [
+            rt.call_later(0.01, lambda i=i: fired.append(i)) for i in range(100)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        rt.run_until_idle(timeout=2.0)
+        assert sorted(fired) == list(range(1, 100, 2))
+
+
 class TestPost:
     def test_post_from_same_thread(self, rt):
         fired = []

@@ -19,7 +19,6 @@ from repro.detection.detector import AttemptOutcome, FailureDetector
 from repro.engine.broker import Broker
 from repro.engine.recovery import RecoveryCoordinator
 from repro.errors import RecoveryError
-from repro.events import EventBus
 from repro.execution import ExecutionService, SubmitRequest
 from repro.wpdl.model import Activity, Option, Program
 

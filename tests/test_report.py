@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from tests.helpers import fig4_workflow, run_workflow, two_reliable_hosts
+from tests.helpers import fig4_workflow, two_reliable_hosts
 from repro.cli import main
 from repro.engine import WorkflowEngine
 from repro.grid import CrashingTask, FixedDurationTask
@@ -33,22 +33,22 @@ class TestNodeTable:
     def test_durations_and_tries(self, finished_instance):
         table = node_table(finished_instance)
         assert "150.00" in table  # SR duration
-        lines = [l for l in table.splitlines() if l.startswith("FU")]
+        lines = [ln for ln in table.splitlines() if ln.startswith("FU")]
         assert lines and " 2" in lines[0]  # 2 tries
 
 
 class TestGantt:
     def test_bars_encode_status(self, finished_instance):
         chart = gantt(finished_instance)
-        fu_line = next(l for l in chart.splitlines() if l.startswith("FU"))
-        sr_line = next(l for l in chart.splitlines() if l.startswith("SR"))
+        fu_line = next(ln for ln in chart.splitlines() if ln.startswith("FU"))
+        sr_line = next(ln for ln in chart.splitlines() if ln.startswith("SR"))
         assert "x" in fu_line  # failed bar
         assert "#" in sr_line  # done bar
 
     def test_alternative_task_starts_after_failure(self, finished_instance):
         chart = gantt(finished_instance, width=40)
-        fu_line = next(l for l in chart.splitlines() if l.startswith("FU"))
-        sr_line = next(l for l in chart.splitlines() if l.startswith("SR"))
+        fu_line = next(ln for ln in chart.splitlines() if ln.startswith("FU"))
+        sr_line = next(ln for ln in chart.splitlines() if ln.startswith("SR"))
         fu_end = fu_line.rindex("x")
         sr_start = sr_line.index("#")
         assert sr_start >= fu_end  # SR's bar begins where FU's ends
@@ -68,7 +68,7 @@ class TestGantt:
         )
         engine.run()
         chart = gantt(engine.instance)
-        sr_line = next(l for l in chart.splitlines() if l.startswith("SR"))
+        sr_line = next(ln for ln in chart.splitlines() if ln.startswith("SR"))
         assert "skipped_ok" in sr_line
         assert "#" not in sr_line
 

@@ -15,6 +15,8 @@ from repro.sim.engine_mc import (
 from repro.sim.params import SimulationParams
 from repro.sim.samplers import sample_technique
 from repro.sim.stats import relative_error, summarize
+from repro.wpdl.parser import parse_wpdl
+from repro.wpdl.serializer import serialize_wpdl
 
 
 class TestWorkflowConstruction:
@@ -33,6 +35,27 @@ class TestWorkflowConstruction:
         assert act.policy.replicated
         assert len(wf.programs["task"].options) == 3
 
+    def test_backoff_workflow_carries_backoff_policy(self):
+        params = SimulationParams(
+            retry_interval=1.5, backoff_factor=3.0, max_retry_interval=9.0
+        )
+        wf = build_technique_workflow("backoff_retry", params)
+        policy = wf.node("task").policy
+        assert policy.uses_backoff
+        assert policy.interval == 1.5
+        assert policy.backoff_factor == 3.0
+        assert policy.max_interval == 9.0
+
+    @pytest.mark.parametrize(
+        "technique", ["replication_checkpointing", "backoff_retry"]
+    )
+    def test_technique_workflow_roundtrips_through_wpdl(self, technique):
+        # The acceptance path: the combined-policy spec survives
+        # serialize → parse unchanged, so the engine-MC runs below
+        # exercise exactly what a WPDL file would declare.
+        wf = build_technique_workflow(technique, SimulationParams())
+        assert parse_wpdl(serialize_wpdl(wf)) == wf
+
     def test_unknown_technique_rejected(self):
         with pytest.raises(SimulationError):
             build_technique_workflow("hope", SimulationParams())
@@ -46,6 +69,8 @@ class TestSingleRuns:
             40.0
         )  # F + K*C
         assert run_engine_once("replication", params, seed=1) == pytest.approx(30.0)
+        # Backoff waits only apply after a failure; failure-free runs pay none.
+        assert run_engine_once("backoff_retry", params, seed=1) == pytest.approx(30.0)
 
     def test_runs_deterministic_per_seed(self):
         params = SimulationParams(mttf=15.0)
@@ -69,6 +94,7 @@ class TestCrossValidation:
             ("checkpointing", 0.05),
             ("replication", 0.08),
             ("replication_checkpointing", 0.05),
+            ("backoff_retry", 0.20),
         ],
     )
     def test_engine_matches_sampler(self, technique, tol):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.grid.simkernel import PeriodicTask, SimKernel, SimReactor
+from repro.grid.simkernel import PeriodicTask
 
 
 class TestScheduling:

@@ -1,0 +1,350 @@
+"""Unit tests for the composable recovery-strategy layer.
+
+Covers policy → strategy resolution, decorator composition, the registry's
+substitution hooks, backoff delay schedules, and the coordinator consuming
+strategies (including a custom resolver injected through the engine API).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.ckpt.manager import CheckpointManager
+from repro.core.policy import (
+    CheckpointConfig,
+    FailurePolicy,
+    ReplicationConfig,
+    ReplicationMode,
+    ResourceSelection,
+    RetryConfig,
+)
+from repro.core.states import TaskState
+from repro.detection.detector import AttemptOutcome, FailureDetector
+from repro.engine.broker import Broker
+from repro.engine.recovery import RecoveryCoordinator
+from repro.engine.strategies import (
+    DEFAULT_REGISTRY,
+    CheckpointRestartStrategy,
+    ExponentialBackoffRetryStrategy,
+    ReplicateStrategy,
+    RetryDecision,
+    RetryStrategy,
+    SlotPlan,
+    resolve_strategy,
+)
+from repro.errors import RecoveryError
+from repro.execution import ExecutionService, SubmitRequest
+from repro.wpdl.model import Activity, Option, Program
+
+
+def program(*hosts):
+    return Program(name="p", options=tuple(Option(hostname=h) for h in hosts))
+
+
+def activity(policy, name="act"):
+    return Activity(name=name, implement="p", policy=policy)
+
+
+class TestResolution:
+    def test_plain_policy_resolves_to_checkpointed_retry(self):
+        # restart_from_checkpoint defaults on, per the paper.
+        strategy = resolve_strategy(FailurePolicy.retrying(3))
+        assert strategy.describe() == "checkpoint_restart(retry)"
+
+    def test_checkpointing_disabled_leaves_bare_retry(self):
+        policy = FailurePolicy.retrying(3).with_checkpointing(False)
+        strategy = resolve_strategy(policy)
+        assert isinstance(strategy, RetryStrategy)
+        assert strategy.describe() == "retry"
+
+    def test_replica_policy_composes_all_three(self):
+        strategy = resolve_strategy(FailurePolicy.replica(max_tries=None))
+        assert strategy.describe() == "replicate(checkpoint_restart(retry))"
+
+    def test_backoff_policy_selects_backoff_base(self):
+        policy = FailurePolicy.backoff_retrying(None, interval=1.0)
+        strategy = resolve_strategy(policy.with_checkpointing(False))
+        assert isinstance(strategy, ExponentialBackoffRetryStrategy)
+        assert strategy.describe() == "backoff_retry"
+
+    def test_full_stack_composition(self):
+        policy = FailurePolicy.compose(
+            retry=RetryConfig(max_tries=None, interval=1.0, backoff_factor=2.0),
+            replication=ReplicationConfig(mode=ReplicationMode.REPLICA),
+            checkpoint=CheckpointConfig(restart_from_checkpoint=True),
+        )
+        strategy = resolve_strategy(policy)
+        assert strategy.describe() == (
+            "replicate(checkpoint_restart(backoff_retry))"
+        )
+
+    def test_composition_mirrors_policy_techniques(self):
+        policy = FailurePolicy.replica(max_tries=None)
+        strategy = resolve_strategy(policy)
+        # techniques() lists outside-in; describe() nests the same order.
+        assert policy.techniques() == ("replication", "checkpointing", "retrying")
+        assert strategy.describe().startswith("replicate(")
+
+
+class TestRegistry:
+    def test_default_registry_names(self):
+        assert set(DEFAULT_REGISTRY.names()) == {
+            "retry",
+            "backoff_retry",
+            "checkpoint_restart",
+            "replicate",
+        }
+
+    def test_unknown_strategy_rejected_with_listing(self):
+        with pytest.raises(RecoveryError) as err:
+            DEFAULT_REGISTRY.create("hope")
+        assert "retry" in str(err.value)
+
+    def test_copy_isolates_overrides(self):
+        class EagerRetry(RetryStrategy):
+            name = "retry"
+
+        local = DEFAULT_REGISTRY.copy()
+        local.register("retry", EagerRetry)
+        assert isinstance(local.create("retry"), EagerRetry)
+        assert not isinstance(DEFAULT_REGISTRY.create("retry"), EagerRetry)
+
+    def test_resolution_uses_supplied_registry(self):
+        class JitteredBackoff(ExponentialBackoffRetryStrategy):
+            pass
+
+        local = DEFAULT_REGISTRY.copy()
+        local.register("backoff_retry", JitteredBackoff)
+        policy = FailurePolicy.backoff_retrying(None, interval=1.0)
+        strategy = resolve_strategy(
+            policy.with_checkpointing(False), registry=local
+        )
+        assert isinstance(strategy, JitteredBackoff)
+
+
+class TestRetryDecisions:
+    def test_budget_exhaustion_returns_none(self):
+        strategy = RetryStrategy()
+        decision = strategy.next_attempt(
+            activity(FailurePolicy.retrying(2)),
+            program("h1"),
+            Broker(),
+            failed_option=0,
+            tries_used=2,
+        )
+        assert decision is None
+
+    def test_same_selection_stays_on_failed_option(self):
+        strategy = RetryStrategy()
+        decision = strategy.next_attempt(
+            activity(FailurePolicy.retrying(5, interval=3.0)),
+            program("h1", "h2"),
+            Broker(),
+            failed_option=0,
+            tries_used=1,
+        )
+        assert decision == RetryDecision(option_index=0, delay=3.0)
+
+    def test_rotate_selection_moves_off_failed_option(self):
+        policy = FailurePolicy.retrying(
+            5, resource_selection=ResourceSelection.ROTATE
+        )
+        strategy = RetryStrategy()
+        decision = strategy.next_attempt(
+            activity(policy),
+            program("h1", "h2", "h3"),
+            Broker(),
+            failed_option=1,
+            tries_used=1,
+        )
+        assert decision.option_index != 1
+
+    def test_backoff_delays_grow_geometrically(self):
+        policy = FailurePolicy.backoff_retrying(
+            None, interval=1.0, backoff_factor=2.0, max_interval=8.0
+        )
+        strategy = ExponentialBackoffRetryStrategy()
+        delays = [
+            strategy.next_attempt(
+                activity(policy),
+                program("h1"),
+                Broker(),
+                failed_option=0,
+                tries_used=n,
+            ).delay
+            for n in range(1, 7)
+        ]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]  # capped at 8
+
+    def test_decorators_delegate_next_attempt(self):
+        policy = FailurePolicy.replica(max_tries=3, interval=2.0)
+        stack = ReplicateStrategy(CheckpointRestartStrategy(RetryStrategy()))
+        decision = stack.next_attempt(
+            activity(policy),
+            program("h1", "h2"),
+            Broker(),
+            failed_option=1,
+            tries_used=1,
+        )
+        assert decision == RetryDecision(option_index=1, delay=2.0)
+
+
+class TestSlotPlanning:
+    def test_retry_plans_single_slot(self):
+        plans = RetryStrategy().plan_slots(
+            activity(FailurePolicy.retrying(3)), program("h1", "h2"), Broker()
+        )
+        assert plans == [SlotPlan(option_index=0)]
+
+    def test_replicate_plans_one_slot_per_option(self):
+        stack = ReplicateStrategy(RetryStrategy())
+        plans = stack.plan_slots(
+            activity(FailurePolicy.replica()), program("h1", "h2", "h3"), Broker()
+        )
+        assert [p.option_index for p in plans] == [0, 1, 2]
+
+
+class TestSubmitFlags:
+    def test_bare_retry_never_offers_flag(self):
+        checkpoints = CheckpointManager()
+        checkpoints.record("act@slot0", "flag-3")
+        strategy = RetryStrategy()
+        assert (
+            strategy.submit_flag(
+                activity(FailurePolicy()), checkpoints, "act@slot0"
+            )
+            is None
+        )
+
+    def test_checkpoint_restart_offers_recorded_flag(self):
+        checkpoints = CheckpointManager()
+        checkpoints.record("act@slot0", "flag-3")
+        strategy = CheckpointRestartStrategy(RetryStrategy())
+        assert (
+            strategy.submit_flag(
+                activity(FailurePolicy()), checkpoints, "act@slot0"
+            )
+            == "flag-3"
+        )
+
+    def test_checkpoint_restart_without_record_falls_through(self):
+        strategy = CheckpointRestartStrategy(RetryStrategy())
+        assert (
+            strategy.submit_flag(
+                activity(FailurePolicy()), CheckpointManager(), "act@slot0"
+            )
+            is None
+        )
+
+    def test_replicate_delegates_flags_per_slot(self):
+        checkpoints = CheckpointManager()
+        checkpoints.record("act@slot1", "flag-7")
+        stack = ReplicateStrategy(CheckpointRestartStrategy(RetryStrategy()))
+        act = activity(FailurePolicy.replica())
+        assert stack.submit_flag(act, checkpoints, "act@slot0") is None
+        assert stack.submit_flag(act, checkpoints, "act@slot1") == "flag-7"
+
+
+# ---------------------------------------------------------------------------
+# Coordinator integration
+# ---------------------------------------------------------------------------
+
+
+class FakeService(ExecutionService):
+    def __init__(self):
+        self.submissions: list[SubmitRequest] = []
+        self.cancelled: list[str] = []
+        self._seq = itertools.count(1)
+
+    def submit(self, request: SubmitRequest) -> str:
+        self.submissions.append(request)
+        return f"fake-{next(self._seq)}"
+
+    def cancel(self, job_id: str) -> None:
+        self.cancelled.append(job_id)
+
+    def connect(self, sink) -> None:  # pragma: no cover - unused here
+        pass
+
+
+def outcome(job_id, state, *, flag=None, result=None):
+    return AttemptOutcome(
+        job_id=job_id,
+        activity="act",
+        state=state,
+        checkpoint_flag=flag,
+        exception=None,
+        result=result,
+    )
+
+
+@pytest.fixture
+def harness(reactor, bus):
+    def build(strategy_resolver=None):
+        service = FakeService()
+        resolutions = []
+        coordinator = RecoveryCoordinator(
+            service,
+            FailureDetector(reactor, bus),
+            Broker(),
+            reactor,
+            on_resolution=resolutions.append,
+            strategy_resolver=strategy_resolver,
+        )
+        return service, coordinator, resolutions
+
+    return build
+
+
+class TestCoordinatorIntegration:
+    def test_backoff_policy_waits_before_each_retry(self, harness, kernel):
+        service, coord, resolutions = harness()
+        policy = FailurePolicy.backoff_retrying(4, interval=1.0, backoff_factor=2.0)
+        coord.start_activity(activity(policy), program("h1"))
+        for retry in range(1, 4):
+            coord.handle_outcome(
+                outcome(f"fake-{retry}", TaskState.FAILED)
+            )
+            before = kernel.now()
+            kernel.run()
+            # n-th retry waits interval * 2**(n-1): 1, 2, 4 seconds.
+            assert kernel.now() - before == pytest.approx(2.0 ** (retry - 1))
+            assert len(service.submissions) == retry + 1
+        coord.handle_outcome(outcome("fake-4", TaskState.DONE))
+        assert resolutions[0].state is TaskState.DONE
+        assert resolutions[0].tries_used == 4
+
+    def test_custom_resolver_overrides_composition(self, harness):
+        class SingleShot(RetryStrategy):
+            def next_attempt(self, *args, **kwargs):
+                return None  # never retry, whatever the policy says
+
+        service, coord, resolutions = harness(lambda policy: SingleShot())
+        coord.start_activity(
+            activity(FailurePolicy.retrying(5)), program("h1")
+        )
+        coord.handle_outcome(outcome("fake-1", TaskState.FAILED))
+        assert len(service.submissions) == 1
+        assert resolutions[0].state is TaskState.FAILED
+
+    def test_replicated_retry_from_checkpoint_resubmits_with_flag(
+        self, harness, kernel
+    ):
+        service, coord, resolutions = harness()
+        policy = FailurePolicy.replica(max_tries=3)
+        coord.start_activity(activity(policy), program("h1", "h2"))
+        assert len(service.submissions) == 2
+        # Replica 0 crashes having checkpointed: its retry carries the flag.
+        coord.handle_outcome(outcome("fake-1", TaskState.FAILED, flag="flag-2"))
+        kernel.run()
+        assert len(service.submissions) == 3
+        assert service.submissions[2].checkpoint_flag == "flag-2"
+        # The sibling replica never sees replica 0's checkpoint.
+        coord.handle_outcome(outcome("fake-2", TaskState.FAILED))
+        kernel.run()
+        assert len(service.submissions) == 4
+        assert service.submissions[3].checkpoint_flag is None
+        coord.handle_outcome(outcome("fake-3", TaskState.DONE))
+        assert resolutions[0].state is TaskState.DONE

@@ -4,12 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.policy import FailurePolicy
 from repro.errors import SpecificationError
 from repro.wpdl.model import (
     Activity,
     ConditionKind,
-    JoinMode,
     Loop,
     Option,
     Parameter,
@@ -163,4 +161,4 @@ class TestWorkflowGraph:
             },
         )
         assert [a.name for a in wf.activities()] == ["t"]
-        assert [l.name for l in wf.loops()] == ["l"]
+        assert [lp.name for lp in wf.loops()] == ["l"]

@@ -81,6 +81,47 @@ class TestAttributes:
         )
         assert wf.node("t").policy.retry_on_exception
 
+    def test_backoff_attributes_parsed(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'>"
+            "<Activity name='t' max_tries='unlimited' interval='1.0'"
+            " backoff='2.0' max_interval='8.0'>"
+            "<Implement>p</Implement></Activity>"
+            "<Program name='p'><Option hostname='h'/></Program>"
+            "</Workflow>"
+        )
+        policy = wf.node("t").policy
+        assert policy.uses_backoff
+        assert policy.backoff_factor == 2.0
+        assert policy.max_interval == 8.0
+        assert policy.retry_delay(3) == 4.0
+
+    def test_combined_replication_checkpointing_retry_parsed(self):
+        wf = parse_wpdl(
+            "<Workflow name='w'>"
+            "<Activity name='t' policy='replica' max_tries='3' interval='1.0'>"
+            "<Implement>p</Implement></Activity>"
+            "<Program name='p'>"
+            "<Option hostname='h1'/><Option hostname='h2'/>"
+            "</Program>"
+            "</Workflow>"
+        )
+        policy = wf.node("t").policy
+        assert policy.techniques() == ("replication", "checkpointing", "retrying")
+
+    def test_bad_backoff_rejected(self):
+        with pytest.raises(ParseError, match="backoff"):
+            parse_wpdl(
+                "<Workflow name='w'><Activity name='t' backoff='fast'/></Workflow>"
+            )
+
+    def test_bad_max_interval_rejected(self):
+        with pytest.raises(ParseError, match="max_interval"):
+            parse_wpdl(
+                "<Workflow name='w'>"
+                "<Activity name='t' max_interval='soon'/></Workflow>"
+            )
+
     def test_bad_max_tries_rejected(self):
         with pytest.raises(ParseError, match="max_tries"):
             parse_wpdl("<Workflow name='w'><Activity name='t' max_tries='lots'/></Workflow>")

@@ -10,7 +10,6 @@ from repro.wpdl import (
     JoinMode,
     Option,
     Parameter,
-    TransitionCondition,
     WorkflowBuilder,
     parse_wpdl,
     serialize_wpdl,
@@ -122,6 +121,67 @@ class TestOutputShape:
         wf = WorkflowBuilder("w").dummy("t").variable("bad", object()).build()
         with pytest.raises(SpecificationError, match="cannot serialise"):
             serialize_wpdl(wf)
+
+
+class TestCombinedPolicyRoundTrip:
+    """Combined-technique policies survive serialize → parse unchanged —
+    the strategy layer's acceptance path (policies reach the engine
+    exactly as a WPDL file declares them)."""
+
+    def combined_workflow(self):
+        from repro.core.policy import (
+            CheckpointConfig,
+            ReplicationConfig,
+            ReplicationMode,
+            RetryConfig,
+        )
+
+        replication_checkpointing = FailurePolicy.compose(
+            retry=RetryConfig(max_tries=None, interval=1.0),
+            replication=ReplicationConfig(mode=ReplicationMode.REPLICA),
+            checkpoint=CheckpointConfig(restart_from_checkpoint=True),
+        )
+        backoff = FailurePolicy.backoff_retrying(
+            None, interval=1.0, backoff_factor=2.0, max_interval=8.0
+        )
+        return (
+            WorkflowBuilder("combined")
+            .program("p", hosts=["h1", "h2", "h3"])
+            .activity("replicated", implement="p", policy=replication_checkpointing)
+            .activity("paced", implement="p", policy=backoff)
+            .transition("replicated", "paced")
+            .build()
+        )
+
+    def test_combined_policies_roundtrip_exactly(self):
+        wf = self.combined_workflow()
+        reparsed = parse_wpdl(serialize_wpdl(wf))
+        assert reparsed == wf
+        # ...and the reparsed policies still resolve to the same strategy
+        # compositions the original would execute under.
+        from repro.engine.strategies import resolve_strategy
+
+        assert (
+            resolve_strategy(reparsed.node("replicated").policy).describe()
+            == "replicate(checkpoint_restart(retry))"
+        )
+        assert (
+            resolve_strategy(reparsed.node("paced").policy).describe()
+            == "checkpoint_restart(backoff_retry)"
+        )
+
+    def test_backoff_attributes_emitted_only_when_set(self):
+        wf = self.combined_workflow()
+        text = serialize_wpdl(wf).replace("'", '"')
+        assert 'backoff="2.0"' in text
+        assert 'max_interval="8.0"' in text
+        plain = WorkflowBuilder("w").dummy("t").build()
+        assert "backoff" not in serialize_wpdl(plain)
+
+    def test_combined_spec_passes_vocabulary_lint(self):
+        from repro.wpdl.schema import check_vocabulary
+
+        assert check_vocabulary(serialize_wpdl(self.combined_workflow())) == []
 
 
 class TestTimeoutRoundTrip:

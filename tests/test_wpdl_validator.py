@@ -121,6 +121,47 @@ class TestPolicies:
         )
         assert problems_of(wf) == []
 
+    def test_backoff_without_interval_reported(self):
+        wf = (
+            WorkflowBuilder("w")
+            .program("p", hosts=["h"])
+            .activity(
+                "t",
+                implement="p",
+                policy=FailurePolicy(max_tries=3, backoff_factor=2.0),
+            )
+            .build(validate_graph=False)
+        )
+        assert any("backoff" in p for p in problems_of(wf))
+
+    def test_max_interval_below_interval_reported(self):
+        wf = (
+            WorkflowBuilder("w")
+            .program("p", hosts=["h"])
+            .activity(
+                "t",
+                implement="p",
+                policy=FailurePolicy(max_tries=3, interval=5.0, max_interval=1.0),
+            )
+            .build(validate_graph=False)
+        )
+        assert any("max_interval" in p for p in problems_of(wf))
+
+    def test_consistent_backoff_policy_ok(self):
+        wf = (
+            WorkflowBuilder("w")
+            .program("p", hosts=["h"])
+            .activity(
+                "t",
+                implement="p",
+                policy=FailurePolicy.backoff_retrying(
+                    None, interval=1.0, backoff_factor=2.0, max_interval=8.0
+                ),
+            )
+            .build(validate_graph=False)
+        )
+        assert problems_of(wf) == []
+
 
 class TestConditionsAndRefs:
     def test_bad_expr_condition_flagged(self):
