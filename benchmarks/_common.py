@@ -36,10 +36,12 @@ def overlay_jobs() -> int:
     """Worker processes for engine-level overlays: every available core
     (overridable via ``REPRO_BENCH_JOBS``, e.g. ``1`` to force the
     sequential path on shared CI runners)."""
+    from repro.sim import resolve_jobs
+
     env = os.environ.get("REPRO_BENCH_JOBS")
     if env:
         return max(1, int(env))
-    return os.cpu_count() or 1
+    return resolve_jobs(0)
 
 
 def emit_json(name: str, payload: dict) -> Path:
@@ -64,6 +66,31 @@ def emit_csv(name: str, x_label: str, series) -> None:
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.csv").write_text(to_csv(x_label, series) + "\n")
+
+
+def emit_results(
+    name: str,
+    text: str,
+    *,
+    x_label: str | None = None,
+    series=None,
+    json_payload: dict | None = None,
+    json_name: str | None = None,
+) -> None:
+    """One-call emission of a benchmark's artefacts.
+
+    Every benchmark persists the same trio under ``results/``: the printed
+    text rendering (always), a CSV companion when the figure has series,
+    and a machine-readable JSON payload when there are scalar metrics to
+    track across runs (named ``BENCH_<name>.json`` unless *json_name*
+    overrides it).  This helper replaces the per-benchmark
+    ``emit``/``emit_csv``/``emit_json`` boilerplate.
+    """
+    emit(name, text)
+    if series is not None:
+        emit_csv(name, x_label or "x", series)
+    if json_payload is not None:
+        emit_json(json_name or f"BENCH_{name}", json_payload)
 
 
 def once(benchmark, fn, *args, **kwargs):

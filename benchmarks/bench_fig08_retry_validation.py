@@ -7,7 +7,7 @@ on the analytical curve (e^{λF} − 1)/λ.
 
 from __future__ import annotations
 
-from _common import PAPER_RUNS, emit, emit_csv, once
+from _common import PAPER_RUNS, emit_results, once
 
 from repro.sim import (
     PAPER_MTTF_SWEEP,
@@ -60,8 +60,9 @@ def test_fig08_retry_validation(benchmark):
         + f"\n\nmax relative error vs analytical model: {max(rel_errors):.4%}"
         + f"\nruns per point: {PAPER_RUNS}"
     )
-    emit("fig08_retry_validation", report)
-    emit_csv("fig08_retry_validation", "mttf", [ana, sim])
+    emit_results(
+        "fig08_retry_validation", report, x_label="mttf", series=[ana, sim]
+    )
 
     # The paper's claim: "the expected completion time from simulation
     # results is the same as the analytical expected completion time".

@@ -16,8 +16,7 @@ from __future__ import annotations
 from _common import (
     ENGINE_OVERLAY_RUNS,
     PAPER_RUNS,
-    emit,
-    emit_csv,
+    emit_results,
     once,
     overlay_jobs,
 )
@@ -88,8 +87,9 @@ def test_fig10_technique_comparison(benchmark):
         f"(paper: replication best for MTTF > ~18): "
         f"MTTF ~ {crossover(rp, ck) or float('nan'):.1f}"
     )
-    emit("fig10_technique_comparison", report)
-    emit_csv("fig10_technique_comparison", "mttf", ordered)
+    emit_results(
+        "fig10_technique_comparison", report, x_label="mttf", series=ordered
+    )
 
     # -- shape claims ------------------------------------------------------
     # (1) small MTTF: checkpoint-based techniques win.

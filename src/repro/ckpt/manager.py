@@ -61,6 +61,10 @@ class CheckpointManager:
         restart)."""
         self._records.pop(activity, None)
 
+    def reset(self) -> None:
+        """Forget every record — engine reuse across simulation runs."""
+        self._records.clear()
+
     def snapshot(self) -> dict[str, dict]:
         """Serialisable view, embedded in engine checkpoints."""
         return {

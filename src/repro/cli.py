@@ -15,12 +15,18 @@ declarative simulated Grid:
           --engine --jobs 4
     $ python -m repro.cli mc --mttf 20 \\
           --technique replication+checkpointing,retry+backoff
+    $ python -m repro.cli mc --mttf 20 --runs 100000 --cache
+    $ python -m repro.cli cache info
+    $ python -m repro.cli cache clear
 
 ``mc`` estimates expected completion times by Monte-Carlo — either with
 the vectorised standalone samplers (default) or by running the full
 engine stack per sample (``--engine``), fanned out over ``--jobs`` worker
 processes with deterministic seed sharding (results are independent of
-the worker count; see :mod:`repro.sim.parallel`).
+the worker count; see :mod:`repro.sim.parallel`).  ``--cache`` opts in to
+the content-addressed sample cache (:mod:`repro.sim.cache`): repeated
+estimates with unchanged inputs load from disk instead of re-sampling,
+and ``cache info`` / ``cache clear`` manage the store.
 
 Exit status: 0 on success, 1 on workflow failure, 2 on usage/spec errors.
 """
@@ -166,6 +172,7 @@ def cmd_mc(args: argparse.Namespace) -> int:
     import json
 
     from .sim import (
+        SampleCache,
         SimulationParams,
         engine_samples,
         sample_technique,
@@ -182,12 +189,25 @@ def cmd_mc(args: argparse.Namespace) -> int:
         runs=args.runs,
         seed=args.seed,
     )
+    cache = SampleCache() if args.cache else None
     rows = []
     for technique in techniques:
         if args.engine:
             samples = engine_samples(
-                technique, params, runs=args.runs, jobs=args.jobs
+                technique, params, runs=args.runs, jobs=args.jobs, cache=cache
             )
+        elif cache is not None:
+            key = cache.key(
+                kind="sampler",
+                technique=technique,
+                params=params,
+                runs=args.runs,
+                base_seed=params.seed,
+            )
+            samples = cache.load(key)
+            if samples is None:
+                samples = sample_technique(technique, params, runs=args.runs)
+                cache.store(key, samples)
         else:
             samples = sample_technique(technique, params, runs=args.runs)
         summary = summarize(samples)
@@ -209,7 +229,8 @@ def cmd_mc(args: argparse.Namespace) -> int:
         print(
             f"E[T] via {mode} Monte-Carlo "
             f"(F={params.failure_free_time:g}, MTTF={params.mttf:g}, "
-            f"D={params.downtime:g}, runs={args.runs}, jobs={args.jobs})"
+            f"D={params.downtime:g}, runs={args.runs}, "
+            f"jobs={'auto' if args.jobs is None else args.jobs})"
         )
         for row in rows:
             print(
@@ -217,6 +238,22 @@ def cmd_mc(args: argparse.Namespace) -> int:
                 f"{row['mean']:10.3f} ± {row['ci99_halfwidth']:.3f}  "
                 f"(p50={row['p50']:.2f}, p95={row['p95']:.2f})"
             )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .sim import SampleCache
+
+    cache = SampleCache()
+    if args.action == "info":
+        info = cache.info()
+        print(f"cache root:       {info['root']}")
+        print(f"entries:          {info['entries']}")
+        print(f"bytes:            {info['bytes']}")
+        print(f"samplers version: {info['samplers_version']}")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached sample vector(s) from {cache.root}")
     return 0
 
 
@@ -308,9 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument(
         "--jobs",
         type=int,
-        default=1,
-        help="worker processes for --engine sampling "
-        "(0 = all cores; results are identical for any value)",
+        default=None,
+        help="worker processes for --engine sampling (0 = all cores; "
+        "default: $REPRO_JOBS, else 1; results are identical for any "
+        "value)",
     )
     p_mc.add_argument(
         "--engine",
@@ -319,8 +357,22 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorised standalone sampler",
     )
     p_mc.add_argument("--seed", type=int, default=20030623, help="root RNG seed")
+    p_mc.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse/store sample vectors in the content-addressed cache "
+        "($REPRO_CACHE_DIR, else ~/.cache/repro/mc); keys cover every "
+        "sampling input, so hits are bit-identical to recomputation",
+    )
     p_mc.add_argument("--json", action="store_true", help="machine-readable output")
     p_mc.set_defaults(fn=cmd_mc)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the Monte-Carlo sample cache"
+    )
+    p_cache.add_argument("action", choices=("info", "clear"))
+    p_cache.set_defaults(fn=cmd_cache)
 
     return parser
 

@@ -125,6 +125,15 @@ class FailureDetector:
         if self.monitor is not None:
             self.monitor.stop()
 
+    def reset(self) -> None:
+        """Forget every tracked attempt (and heartbeat liveness state),
+        returning the detector to its just-constructed state — the
+        engine-reuse path (:meth:`repro.engine.engine.WorkflowEngine.reset`)
+        rewinds one detector instead of building one per run."""
+        self._attempts.clear()
+        if self.monitor is not None:
+            self.monitor.reset()
+
     # -- registration --------------------------------------------------------
 
     def track(self, job_id: str, activity: str, hostname: str) -> None:

@@ -94,6 +94,13 @@ class HeartbeatMonitor:
             self._sweep_handle.cancel()
             self._sweep_handle = None
 
+    def reset(self) -> None:
+        """Stop sweeping and forget all liveness records — back to the
+        just-constructed state, for engine reuse across simulation runs."""
+        self.stop()
+        self._hosts.clear()
+        self.false_suspicions = 0
+
     def _schedule_sweep(self) -> None:
         self._sweep_handle = self._reactor.call_later(self.sweep_interval, self._sweep)
 

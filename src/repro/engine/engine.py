@@ -248,6 +248,45 @@ class WorkflowEngine:
             )
         return self._result
 
+    def reset(self) -> None:
+        """Rewind to a fresh, not-yet-started instance of the same workflow
+        (mirroring :meth:`repro.grid.simgrid.SimulatedGrid.reset`).
+
+        Everything transient — the instance tree, coordinator bookkeeping,
+        detector attempts, loop runners, termination state — is rebuilt
+        exactly as a newly constructed engine over the same workflow and
+        runtime would build it, so a reset engine produces bit-identical
+        executions.  This is the Monte-Carlo fast path: repeated sampling
+        rewinds one engine per configuration instead of constructing one
+        per run (:class:`repro.sim.engine_mc.EngineSampler`).
+
+        Only meaningful for an engine that owns its runtime; resetting a
+        loop-child engine would clobber its parent's shared infrastructure.
+        The caller is responsible for rewinding the execution service
+        itself (e.g. ``grid.reset(seed=...)``) first; ``reset`` re-attaches
+        the detector to the service, since a service reset clears its
+        message sink.
+        """
+        runtime = self.runtime
+        # Coordinator reset also clears the shared CheckpointManager.
+        self.coordinator.reset()
+        runtime.detector.reset()
+        runtime.service.connect(runtime.detector.deliver)
+        runtime._engine_ids = itertools.count(1)
+        self.instance = WorkflowInstance(self.workflow)
+        self._finished = False
+        self._result = None
+        self._loop_runners = {}
+        self._unresolved = len(self.instance.nodes)
+        self._running_count = 0
+        # _finish unsubscribed us; fresh construction subscribes — match it.
+        for sub in self._subscriptions:
+            runtime.bus.unsubscribe(sub)
+        self._subscriptions = [
+            runtime.bus.subscribe(topic, self._on_task_event)
+            for topic in (TASK_DONE, TASK_FAILED, TASK_EXCEPTION)
+        ]
+
     # -- event plumbing --------------------------------------------------------------
 
     def _on_task_event(self, _topic: str, outcome: AttemptOutcome) -> None:

@@ -233,6 +233,32 @@ class RecoveryCoordinator:
         else:  # pragma: no cover - defensive
             raise RecoveryError(f"unexpected outcome state {outcome.state}")
 
+    # -- reuse ---------------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all in-flight bookkeeping, returning the coordinator to its
+        just-constructed state for another run of the same engine.
+
+        Deliberately does **not** notify the execution service or the
+        detector: the engine-reuse path resets those layers itself (the
+        simulated grid rewinds its job table in place), so per-job
+        cancellation would target jobs that no longer exist.  Slot timers
+        are cancelled defensively for real-time reactors, where timers
+        outlive a simulation rewind.
+        """
+        for run in self._runs.values():
+            run.resolved = True
+            for slot in run.slots:
+                if slot.retry_timer is not None:
+                    slot.retry_timer.cancel()
+                    slot.retry_timer = None
+                if slot.timeout_timer is not None:
+                    slot.timeout_timer.cancel()
+                    slot.timeout_timer = None
+        self._runs.clear()
+        self._job_index.clear()
+        self.checkpoints.reset()
+
     # -- cancellation -------------------------------------------------------------------
 
     def cancel_activity(self, name: str) -> None:

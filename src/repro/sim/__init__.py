@@ -16,6 +16,7 @@ from .engine_mc import (
     engine_samples,
     run_engine_once,
 )
+from .cache import SampleCache, default_cache_dir, resolve_cache
 from .parallel import (
     SEED_STRIDE,
     engine_samples_parallel,
@@ -23,6 +24,14 @@ from .parallel import (
     seed_for,
     shard_bounds,
     sweep_samples_parallel,
+)
+from .pool import (
+    get_pool,
+    persistent_pool,
+    pool_size,
+    sampler_cache_info,
+    shutdown_pool,
+    worker_sampler,
 )
 from .exceptions_model import (
     EXCEPTION_STRATEGIES,
@@ -52,6 +61,7 @@ from .runner import (
 )
 from .samplers import (
     EXTENDED_TECHNIQUES,
+    SAMPLERS_VERSION,
     TECHNIQUES,
     sample_backoff_retry,
     sample_checkpointing,
@@ -79,6 +89,16 @@ __all__ = [
     "seed_for",
     "shard_bounds",
     "sweep_samples_parallel",
+    "SampleCache",
+    "default_cache_dir",
+    "resolve_cache",
+    "get_pool",
+    "persistent_pool",
+    "pool_size",
+    "sampler_cache_info",
+    "shutdown_pool",
+    "worker_sampler",
+    "SAMPLERS_VERSION",
     "EXCEPTION_STRATEGIES",
     "ExceptionExperiment",
     "expected_alternative",

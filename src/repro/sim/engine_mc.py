@@ -103,10 +103,11 @@ class EngineSampler:
 
     Constructs the :class:`Workflow`, :class:`TaskBehavior` and
     :class:`ResourceSpec` set once, then executes arbitrarily many seeded
-    runs by rewinding the :class:`SimulatedGrid` in place
-    (:meth:`SimulatedGrid.reset`) instead of rebuilding the world per run —
-    the Monte-Carlo hot path.  ``sampler.run(seed)`` is bit-identical to
-    :func:`run_engine_once` with the same arguments.
+    runs by rewinding both the :class:`SimulatedGrid`
+    (:meth:`SimulatedGrid.reset`) and one :class:`WorkflowEngine`
+    (:meth:`WorkflowEngine.reset`) in place instead of rebuilding the
+    world per run — the Monte-Carlo hot path.  ``sampler.run(seed)`` is
+    bit-identical to :func:`run_engine_once` with the same arguments.
     """
 
     def __init__(
@@ -135,15 +136,19 @@ class EngineSampler:
             self._grid.install(spec.hostname, "task", behavior)
         #: Cumulative kernel events across all runs (throughput diagnostics).
         self.events_processed = 0
+        self._engine: WorkflowEngine | None = None
 
     def run(self, seed: int) -> float:
         """One end-to-end engine execution; returns the completion time."""
         grid = self._grid
         grid.reset(seed=seed)
-        engine = WorkflowEngine(
-            self.workflow, grid, reactor=grid.reactor, validate_spec=False
-        )
-        result = engine.run(timeout=self.timeout)
+        if self._engine is None:
+            self._engine = WorkflowEngine(
+                self.workflow, grid, reactor=grid.reactor, validate_spec=False
+            )
+        else:
+            self._engine.reset()
+        result = self._engine.run(timeout=self.timeout)
         self.events_processed += grid.kernel.events_processed
         if not result.succeeded:
             raise SimulationError(
@@ -200,6 +205,7 @@ def engine_samples(
     base_seed: int | None = None,
     jobs: int | None = None,
     timeout: float = 10_000_000.0,
+    cache=None,
 ) -> np.ndarray:
     """Completion times from *runs* independent engine executions.
 
@@ -208,15 +214,36 @@ def engine_samples(
     without burning minutes per point.
 
     Run *i* is seeded ``base_seed + 7919*i``; with ``jobs > 1`` the runs
-    fan out over a process pool in contiguous index shards and the result
-    is **bit-identical** to the sequential loop (``jobs=None``/``1``).
-    ``jobs=0`` (or any negative value) uses every available core — see
-    :mod:`repro.sim.parallel`.
+    fan out over the persistent process pool in contiguous index shards
+    and the result is **bit-identical** to the sequential loop
+    (``jobs=None``/``1``).  ``jobs=0`` (or any negative value) uses every
+    available core — see :mod:`repro.sim.parallel`.
+
+    *cache* opts in to the content-addressed sample cache
+    (:mod:`repro.sim.cache`): ``True`` for the default location, a
+    :class:`~repro.sim.cache.SampleCache` for an explicit one.  A hit
+    returns the stored vector without running anything; a miss computes,
+    stores and returns it.  Keys cover every sampling input, so cached
+    and freshly computed vectors are interchangeable bit for bit.
     """
+    from .cache import resolve_cache
     from .parallel import engine_samples_parallel
 
     base_seed = params.seed if base_seed is None else base_seed
-    return engine_samples_parallel(
+    store = resolve_cache(cache)
+    if store is not None:
+        key = store.key(
+            kind="engine",
+            technique=technique,
+            params=params,
+            runs=runs,
+            base_seed=base_seed,
+            extra={"timeout": timeout},
+        )
+        hit = store.load(key)
+        if hit is not None:
+            return hit
+    samples = engine_samples_parallel(
         technique,
         params,
         runs=runs,
@@ -224,3 +251,6 @@ def engine_samples(
         jobs=jobs,
         timeout=timeout,
     )
+    if store is not None:
+        store.store(key, samples)
+    return samples

@@ -3,17 +3,28 @@
 The paper's evaluation rests on Monte-Carlo estimation of expected
 completion times (100 000 runs per point), and the engine-level overlay
 re-runs the *full* Grid-WFS stack per sample.  This module fans that work
-out across a :class:`concurrent.futures.ProcessPoolExecutor` while keeping
-results **bit-identical** to the sequential loop:
+out across a persistent :class:`concurrent.futures.ProcessPoolExecutor`
+(:mod:`repro.sim.pool`) while keeping results **bit-identical** to the
+sequential loop:
 
 Seed sharding
     Run *i* always uses seed ``base_seed + SEED_STRIDE * i`` — a fixed
     per-index seed stream, independent of how runs are distributed over
     workers.  The run-index space ``[0, runs)`` is chunked into contiguous
     shards (one per worker); each worker fills its slice and the parent
-    reassembles slices by offset.  Because no run's randomness depends on a
-    neighbour's, the concatenation equals the sequential result exactly,
-    for any worker count.
+    reassembles slices by offset, accepting them in completion order
+    (:func:`concurrent.futures.as_completed`) so one slow shard never
+    serialises assembly of the others.  Because no run's randomness
+    depends on a neighbour's, the concatenation equals the sequential
+    result exactly, for any worker count.
+
+Amortised startup
+    The executor is a process-wide singleton shared by every call
+    (:func:`repro.sim.pool.get_pool`), so fork/import costs are paid once
+    per process; workers cache their :class:`EngineSampler` per
+    ``(technique, params, timeout)`` (:func:`repro.sim.pool.worker_sampler`),
+    so the workflow/grid/behavior world is built once per configuration,
+    not once per shard.
 
 Worker-side failures
     Engine runs can fail (e.g. a virtual-time budget is exceeded).  Raw
@@ -31,12 +42,14 @@ multiprocessing overhead.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
 from ..errors import SimulationError
 from .params import SimulationParams
+from .pool import get_pool, shutdown_pool, worker_sampler
 
 __all__ = [
     "SEED_STRIDE",
@@ -81,16 +94,47 @@ def shard_bounds(runs: int, shards: int) -> list[tuple[int, int]]:
     return bounds
 
 
+def _available_cores() -> int:
+    """Cores this process may actually run on: the scheduling affinity
+    mask where the platform exposes it (cgroup/taskset-limited boxes
+    advertise fewer cores than ``os.cpu_count``), else ``os.cpu_count``."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: int | None) -> int:
     """Normalise a ``--jobs``-style worker count.
 
-    ``None`` (or 1) means sequential; 0 or any negative value means "use
-    every available core"; anything else is taken literally.
+    Precedence, highest first:
+
+    1. an explicit integer argument — 1 means sequential, 0 or any
+       negative value means "every available core", anything else is
+       taken literally;
+    2. with ``jobs=None``, the ``REPRO_JOBS`` environment variable,
+       interpreted by the same rules — the fleet-wide default for tools
+       that don't expose a flag;
+    3. otherwise 1 (sequential).
+
+    "Every available core" is the scheduling-affinity count
+    (``os.sched_getaffinity``) where the platform provides it, so
+    container CPU limits are respected; ``os.cpu_count`` elsewhere.
     """
     if jobs is None:
-        return 1
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise SimulationError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
     if jobs <= 0:
-        return os.cpu_count() or 1
+        return _available_cores()
     return jobs
 
 
@@ -109,10 +153,10 @@ def _engine_shard(
 
     Module-level (picklable) and usable in process: the sequential path
     calls it directly so ``jobs=1`` and ``jobs=N`` execute the same code.
+    The sampler comes from the per-process cache, so consecutive shards of
+    one configuration skip world construction entirely.
     """
-    from .engine_mc import EngineSampler
-
-    sampler = EngineSampler(technique, params, timeout=timeout)
+    sampler = worker_sampler(technique, params, timeout)
     out = np.empty(stop - start)
     for index in range(start, stop):
         seed = seed_for(base_seed, index)
@@ -127,6 +171,21 @@ def _engine_shard(
                 f"({type(exc).__name__}: {exc})"
             ) from exc
     return start, out
+
+
+def _submit_resilient(jobs: int, submit_all):
+    """Submit work to the persistent pool, retrying once on a broken pool.
+
+    A worker killed hard (OOM, signal) breaks the executor for all later
+    submissions; since the pool is a long-lived singleton, one automatic
+    replace-and-retry keeps a single casualty from poisoning every
+    subsequent call.
+    """
+    try:
+        return submit_all(get_pool(jobs))
+    except BrokenProcessPool:
+        shutdown_pool()
+        return submit_all(get_pool(jobs))
 
 
 def engine_samples_parallel(
@@ -145,18 +204,23 @@ def engine_samples_parallel(
     jobs = min(resolve_jobs(jobs), runs)
     if jobs <= 1:
         return _engine_shard(technique, params, base_seed, 0, runs, timeout)[1]
-    times = np.empty(runs)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+
+    def submit_all(pool):
+        times = np.empty(runs)
         futures = [
             pool.submit(
                 _engine_shard, technique, params, base_seed, start, stop, timeout
             )
             for start, stop in shard_bounds(runs, jobs)
         ]
-        for future in futures:
+        # Completion-order collection: reassembly is by shard offset, so a
+        # slow shard delays only itself, never its finished neighbours.
+        for future in as_completed(futures):
             start, shard = future.result()
             times[start : start + shard.size] = shard
-    return times
+        return times
+
+    return _submit_resilient(jobs, submit_all)
 
 
 # -- standalone-sampler sweeps -------------------------------------------------
@@ -179,14 +243,22 @@ def sweep_samples_parallel(
     jobs: int | None = None,
 ) -> list[np.ndarray]:
     """Sample every ``(technique, mttf)`` point of a sweep, fanning points
-    out over *jobs* workers.  Point order (and therefore every sample
-    vector) matches the sequential evaluation exactly — each point draws
-    from its own seeded generator, so placement is irrelevant."""
+    out over *jobs* workers of the persistent pool.  Point order (and
+    therefore every sample vector) matches the sequential evaluation
+    exactly — each point draws from its own seeded generator, so placement
+    and completion order are irrelevant."""
     jobs = min(resolve_jobs(jobs), len(points) or 1)
     if jobs <= 1:
         return [_sweep_point(t, params, m, runs) for t, m in points]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(_sweep_point, t, params, m, runs) for t, m in points
-        ]
-        return [future.result() for future in futures]
+
+    def submit_all(pool):
+        futures = {
+            pool.submit(_sweep_point, t, params, m, runs): i
+            for i, (t, m) in enumerate(points)
+        }
+        results: list[np.ndarray | None] = [None] * len(points)
+        for future in as_completed(futures):
+            results[futures[future]] = future.result()
+        return results
+
+    return _submit_resilient(jobs, submit_all)

@@ -14,9 +14,9 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..errors import SimulationError
-from .parallel import resolve_jobs, sweep_samples_parallel
+from .parallel import sweep_samples_parallel
 from .params import SimulationParams
-from .samplers import TECHNIQUES, sample_technique
+from .samplers import TECHNIQUES
 from .stats import Summary, summarize
 
 __all__ = [
@@ -129,39 +129,62 @@ def sweep_mttf(
     *,
     runs: int | None = None,
     jobs: int | None = None,
+    cache=None,
 ) -> dict[str, Series]:
     """The paper's standard experiment: E[T] vs MTTF per technique.
 
-    With ``jobs > 1`` the (technique, MTTF) points are sampled across a
-    process pool (:func:`repro.sim.parallel.sweep_samples_parallel`);
-    every point is independently seeded, so the series are identical to
-    the sequential evaluation.
+    With ``jobs > 1`` the (technique, MTTF) points are sampled across the
+    persistent process pool
+    (:func:`repro.sim.parallel.sweep_samples_parallel`); every point is
+    independently seeded, so the series are identical to the sequential
+    evaluation.
+
+    *cache* opts in to the content-addressed sample cache
+    (:mod:`repro.sim.cache`): each (technique, MTTF) point is keyed
+    independently, so regenerating a sweep re-samples only the points
+    whose inputs changed — an unchanged figure regenerates from disk
+    without drawing a single sample.
     """
+    from .cache import resolve_cache
+
     techniques = list(techniques)
-    if resolve_jobs(jobs) > 1:
-        points = [(t, float(m)) for t in techniques for m in mttfs]
-        vectors = sweep_samples_parallel(points, params, runs=runs, jobs=jobs)
-        samples = dict(zip(points, vectors))
-        out: dict[str, Series] = {}
-        for technique in techniques:
-            summaries = tuple(
-                summarize(samples[(technique, float(m))]) for m in mttfs
-            )
-            out[technique] = Series(
-                label=TECHNIQUE_LABELS.get(technique, technique),
-                x=tuple(float(m) for m in mttfs),
-                y=tuple(s.mean for s in summaries),
-                summaries=summaries,
-            )
-        return out
-    out = {}
+    store = resolve_cache(cache)
+    points = [(t, float(m)) for t in techniques for m in mttfs]
+    point_runs = runs if runs is not None else params.runs
+
+    def key_for(technique: str, mttf: float) -> str:
+        return store.key(
+            kind="sampler",
+            technique=technique,
+            params=params.with_mttf(mttf),
+            runs=point_runs,
+            base_seed=params.seed,
+        )
+
+    samples: dict[tuple[str, float], np.ndarray] = {}
+    if store is not None:
+        for t, m in points:
+            hit = store.load(key_for(t, m))
+            if hit is not None:
+                samples[(t, m)] = hit
+    missing = [p for p in points if p not in samples]
+    if missing:
+        vectors = sweep_samples_parallel(missing, params, runs=runs, jobs=jobs)
+        for point, vector in zip(missing, vectors):
+            samples[point] = vector
+            if store is not None:
+                store.store(key_for(*point), vector)
+
+    out: dict[str, Series] = {}
     for technique in techniques:
-        out[technique] = sweep(
-            mttfs,
-            lambda m, t=technique: sample_technique(
-                t, params.with_mttf(m), runs=runs
-            ),
+        summaries = tuple(
+            summarize(samples[(technique, float(m))]) for m in mttfs
+        )
+        out[technique] = Series(
             label=TECHNIQUE_LABELS.get(technique, technique),
+            x=tuple(float(m) for m in mttfs),
+            y=tuple(s.mean for s in summaries),
+            summaries=summaries,
         )
     return out
 

@@ -52,7 +52,15 @@ __all__ = [
     "sample_technique",
     "TECHNIQUES",
     "EXTENDED_TECHNIQUES",
+    "SAMPLERS_VERSION",
 ]
+
+#: Version tag of the sampling semantics, part of every
+#: :mod:`repro.sim.cache` key.  Bump whenever *any* change alters the draw
+#: sequence of a sampler or of the engine-level path (RNG layout, event
+#: ordering, technique semantics) — every cached vector then goes stale at
+#: once instead of silently serving pre-change samples.
+SAMPLERS_VERSION = 1
 
 #: Public technique names, in the paper's Figure 10 order.
 TECHNIQUES = (

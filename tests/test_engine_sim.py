@@ -441,3 +441,75 @@ class TestControlFlowFeatures:
         result = run_workflow(wf, quiet_grid)
         assert result.succeeded
         assert result.completion_time == pytest.approx(25.0)
+
+
+class TestEngineReset:
+    """:meth:`WorkflowEngine.reset`: the in-place rewind must replay a run
+    bit for bit and match a freshly constructed engine — the contract the
+    Monte-Carlo hot path (:class:`repro.sim.engine_mc.EngineSampler`)
+    builds on."""
+
+    def _retry_scenario(self, grid):
+        grid.add_host(RELIABLE("h1"))
+        grid.install(
+            "h1", "task", CrashingTask(duration=30.0, crash_at=5.0, crashes=2)
+        )
+        return single_task_workflow(
+            policy=FailurePolicy.retrying(3, interval=10.0)
+        )
+
+    def test_reset_replays_a_deterministic_run_exactly(self, quiet_grid):
+        wf = self._retry_scenario(quiet_grid)
+        engine = WorkflowEngine(wf, quiet_grid, reactor=quiet_grid.reactor)
+        first = engine.run(timeout=1e7)
+        quiet_grid.reset()
+        engine.reset()
+        second = engine.run(timeout=1e7)
+        assert first.succeeded and second.succeeded
+        assert second.completion_time == first.completion_time
+        assert second.tries == first.tries
+        assert second.node_statuses == first.node_statuses
+
+    def test_reset_matches_a_fresh_engine(self, quiet_grid):
+        wf = self._retry_scenario(quiet_grid)
+        engine = WorkflowEngine(wf, quiet_grid, reactor=quiet_grid.reactor)
+        engine.run(timeout=1e7)
+        quiet_grid.reset()
+        engine.reset()
+        reused = engine.run(timeout=1e7)
+        quiet_grid.reset()
+        fresh = WorkflowEngine(wf, quiet_grid, reactor=quiet_grid.reactor)
+        want = fresh.run(timeout=1e7)
+        assert reused.completion_time == want.completion_time
+        assert reused.tries == want.tries
+        assert reused.node_statuses == want.node_statuses
+
+    def test_reset_after_a_failed_run_replays_identically(self, quiet_grid):
+        quiet_grid.add_host(RELIABLE("h1"))
+        quiet_grid.install(
+            "h1",
+            "task",
+            CrashingTask(duration=30.0, crash_at=5.0, crashes=None),
+        )
+        wf = single_task_workflow(policy=FailurePolicy.retrying(3))
+        engine = WorkflowEngine(wf, quiet_grid, reactor=quiet_grid.reactor)
+        first = engine.run(timeout=1e7)
+        assert first.status is WorkflowStatus.FAILED
+        quiet_grid.reset()
+        engine.reset()
+        second = engine.run(timeout=1e7)
+        assert second.status is WorkflowStatus.FAILED
+        assert second.tries == first.tries
+        assert second.failed_tasks == first.failed_tasks
+
+    def test_many_reset_cycles_stay_stable(self, quiet_grid):
+        # Repeated reuse must not accumulate state (subscriptions, retry
+        # slots, checkpoint records) that shifts later runs.
+        wf = self._retry_scenario(quiet_grid)
+        engine = WorkflowEngine(wf, quiet_grid, reactor=quiet_grid.reactor)
+        times = []
+        for _ in range(5):
+            times.append(engine.run(timeout=1e7).completion_time)
+            quiet_grid.reset()
+            engine.reset()
+        assert len(set(times)) == 1
