@@ -65,6 +65,16 @@ PARALLEL_SPEEDUP_FLOOR = 1.5
 #: Warm-cache regeneration must beat cold by at least this factor.
 CACHE_SPEEDUP_FLOOR = 10.0
 
+#: Holding a *disabled* metrics registry must cost the sequential sampler
+#: path less than this fraction — the price of having observability
+#: compiled into the hot loop when nobody asked for it.
+METRICS_OVERHEAD_CEILING = 0.02
+
+#: Interleaved timing repeats for the overhead comparison; min-of-reps
+#: discards scheduler noise (the true disabled cost is one attribute
+#: load and a None check per run, far below the ceiling).
+OVERHEAD_REPEATS = 5
+
 
 def _time_naive(params, runs: int) -> tuple[np.ndarray, float]:
     base_seed = params.seed
@@ -86,6 +96,38 @@ def _time_engine_samples(
     start = time.perf_counter()
     times = engine_samples(TECHNIQUE, params, runs=runs, jobs=jobs, cache=cache)
     return times, time.perf_counter() - start
+
+
+def _time_sampler_pass(sampler, params, runs: int) -> float:
+    start = time.perf_counter()
+    for i in range(runs):
+        sampler.run(params.seed + 7919 * i)
+    return time.perf_counter() - start
+
+
+def _metrics_overhead(params, runs: int) -> dict:
+    """Sequential sampler throughput with metrics absent / disabled /
+    enabled.  The passes are interleaved and the minimum per mode is kept,
+    so slow drift on a shared box cannot masquerade as overhead."""
+    from repro.obs import MetricsRegistry
+
+    samplers = {
+        "plain": EngineSampler(TECHNIQUE, params),
+        "disabled": EngineSampler(TECHNIQUE, params),
+        "enabled": EngineSampler(TECHNIQUE, params),
+    }
+    samplers["disabled"].metrics = MetricsRegistry(enabled=False)
+    samplers["enabled"].metrics = MetricsRegistry()
+    best = {mode: float("inf") for mode in samplers}
+    for _ in range(OVERHEAD_REPEATS):
+        for mode, sampler in samplers.items():
+            best[mode] = min(
+                best[mode], _time_sampler_pass(sampler, params, runs)
+            )
+    return {
+        "metrics_disabled_overhead": best["disabled"] / best["plain"] - 1.0,
+        "metrics_enabled_overhead": best["enabled"] / best["plain"] - 1.0,
+    }
 
 
 def _kernel_events_per_sec(n_events: int) -> float:
@@ -150,7 +192,10 @@ def generate():
     engine_elapsed = time.perf_counter() - start
     engine_events_per_sec = timed_sampler.events_processed / engine_elapsed
 
+    overhead = _metrics_overhead(params, RUNS)
+
     return {
+        **overhead,
         "technique": TECHNIQUE,
         "mttf": MTTF,
         "runs": RUNS,
@@ -191,6 +236,9 @@ def test_engine_mc_throughput(benchmark):
         f"  cache warm (load)         {payload['cache_warm_runs_per_sec']:8.0f} runs/s"
         f"  ({payload['speedup_cache_warm_vs_cold']:.0f}x vs cold)",
         f"  bit-identical outputs: {payload['bit_identical']}",
+        f"  metrics overhead (seq)    "
+        f"disabled {payload['metrics_disabled_overhead']:+.2%}, "
+        f"enabled {payload['metrics_enabled_overhead']:+.2%}",
         f"  kernel event throughput   {payload['kernel_events_per_sec']:8.0f} events/s",
         f"  engine event throughput   {payload['engine_events_per_sec']:8.0f} events/s"
         f"  ({payload['engine_events_per_run']:.0f} events/run)",
@@ -208,6 +256,11 @@ def test_engine_mc_throughput(benchmark):
     # Warm-cache regeneration is a disk read; it must trounce recomputation
     # on any hardware.
     assert payload["speedup_cache_warm_vs_cold"] >= CACHE_SPEEDUP_FLOOR, payload
+    # A disabled registry must be invisible on the sequential hot path:
+    # one attribute load and an ``enabled`` check per run, nothing more.
+    assert (
+        payload["metrics_disabled_overhead"] < METRICS_OVERHEAD_CEILING
+    ), payload
     # Parallel wall-clock gains need the cores to exist; with them, four
     # pooled workers on an embarrassingly parallel loop must clear the
     # perf-smoke floor.

@@ -28,6 +28,14 @@ the content-addressed sample cache (:mod:`repro.sim.cache`): repeated
 estimates with unchanged inputs load from disk instead of re-sampling,
 and ``cache info`` / ``cache clear`` manage the store.
 
+Observability (:mod:`repro.obs`): ``run``/``resume`` accept ``--metrics
+out.prom`` (Prometheus text exposition of the run's counters and
+histograms) and ``--trace out.json`` (Chrome ``trace_event`` JSON —
+loadable in chrome://tracing or Perfetto; a ``.jsonl`` suffix writes the
+raw JSON-lines event/span/metrics stream instead).  ``mc --stats`` prints
+per-technique attempt histograms and pool/disk cache hit rates next to
+the completion-time estimates.
+
 Exit status: 0 on success, 1 on workflow failure, 2 on usage/spec errors.
 """
 
@@ -89,6 +97,51 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _attach_observer(args: argparse.Namespace, engine: WorkflowEngine):
+    """One :class:`repro.obs.RunObserver` when ``--metrics``/``--trace``
+    asks for it; ``None`` keeps the run entirely uninstrumented."""
+    if not (args.metrics or args.trace):
+        return None
+    from .obs import RunObserver
+
+    return RunObserver.attach(engine)
+
+
+def _export_observation(
+    args: argparse.Namespace, observer, grid, engine: WorkflowEngine
+) -> None:
+    from .obs import (
+        prometheus_text,
+        scrape_detector,
+        scrape_grid,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    scrape_grid(observer.metrics, grid)
+    scrape_detector(observer.metrics, engine.runtime.detector)
+    if args.metrics:
+        from pathlib import Path
+
+        Path(args.metrics).write_text(prometheus_text(observer.metrics))
+        print(f"metrics written to {args.metrics}")
+    if args.trace:
+        if str(args.trace).endswith(".jsonl"):
+            count = write_jsonl(
+                args.trace,
+                events=observer.events,
+                spans=observer.spans,
+                metrics=observer.metrics,
+            )
+            print(f"trace written to {args.trace} ({count} JSON lines)")
+        else:
+            count = write_chrome_trace(args.trace, observer.spans)
+            print(
+                f"trace written to {args.trace} "
+                f"({count} events; open in chrome://tracing or Perfetto)"
+            )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     workflow = parse_wpdl_file(args.workflow)
     grid = load_gridspec(args.grid)
@@ -102,11 +155,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         checkpointer=checkpointer,
         heartbeat_timeout=args.heartbeat_timeout,
     )
+    observer = _attach_observer(args, engine)
     result = engine.run(timeout=args.timeout)
     if args.report:
         print(run_report(engine.instance))
     else:
         _print_result(result)
+    if observer is not None:
+        _export_observation(args, observer, grid, engine)
     return 0 if result.succeeded else 1
 
 
@@ -118,11 +174,14 @@ def cmd_resume(args: argparse.Namespace) -> int:
         reactor=grid.reactor,
         heartbeat_timeout=args.heartbeat_timeout,
     )
+    observer = _attach_observer(args, engine)
     result = engine.run(timeout=args.timeout)
     if args.report:
         print(run_report(engine.instance))
     else:
         _print_result(result)
+    if observer is not None:
+        _export_observation(args, observer, grid, engine)
     return 0 if result.succeeded else 1
 
 
@@ -190,11 +249,21 @@ def cmd_mc(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     cache = SampleCache() if args.cache else None
+    registry = None
+    if args.stats:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     rows = []
     for technique in techniques:
         if args.engine:
             samples = engine_samples(
-                technique, params, runs=args.runs, jobs=args.jobs, cache=cache
+                technique,
+                params,
+                runs=args.runs,
+                jobs=args.jobs,
+                cache=cache,
+                metrics=registry,
             )
         elif cache is not None:
             key = cache.key(
@@ -223,7 +292,10 @@ def cmd_mc(args: argparse.Namespace) -> int:
             }
         )
     if args.json:
-        print(json.dumps(rows, indent=2))
+        payload = rows
+        if registry is not None:
+            payload = {"rows": rows, "metrics": registry.snapshot()}
+        print(json.dumps(payload, indent=2))
     else:
         mode = "engine-level" if args.engine else "standalone sampler"
         print(
@@ -238,7 +310,65 @@ def cmd_mc(args: argparse.Namespace) -> int:
                 f"{row['mean']:10.3f} ± {row['ci99_halfwidth']:.3f}  "
                 f"(p50={row['p50']:.2f}, p95={row['p95']:.2f})"
             )
+        if registry is not None:
+            _print_mc_stats(registry, techniques, engine_mode=args.engine)
     return 0
+
+
+def _rate(hits: float | None, misses: float | None) -> str:
+    hits, misses = hits or 0.0, misses or 0.0
+    total = hits + misses
+    if not total:
+        return "n/a (0 lookups)"
+    return f"{hits / total:.0%} ({hits:g}/{total:g})"
+
+
+def _print_mc_stats(registry, techniques, *, engine_mode: bool) -> None:
+    """Render ``mc --stats``: per-technique attempt histograms plus pool
+    and disk cache hit rates, from the merged metrics registry."""
+    print()
+    print("run statistics:")
+    if not engine_mode:
+        print(
+            "  (attempt histograms need --engine; the vectorised samplers "
+            "do not run the recovery stack)"
+        )
+    for technique in techniques:
+        hist = registry.get_histogram("mc_attempts", technique=technique)
+        if hist is None or not hist.count:
+            continue
+        mean = hist.sum / hist.count
+        print(
+            f"  {technique:28s} attempts/run: mean={mean:.2f} "
+            f"p50<={hist.quantile(0.5):g} p95<={hist.quantile(0.95):g}"
+        )
+        bounds = list(hist.bounds)
+        parts = [
+            f"<={bounds[i]:g}:{n}" if i < len(bounds) else f">{bounds[-1]:g}:{n}"
+            for i, n in enumerate(hist.counts)
+            if n
+        ]
+        print(f"  {'':28s} histogram {' '.join(parts)}")
+    print(
+        "  pool sampler cache:  "
+        + _rate(
+            registry.value("mc_pool_sampler_cache_hits_total"),
+            registry.value("mc_pool_sampler_cache_misses_total"),
+        )
+    )
+    disk_hits = sum(
+        s.value
+        for f in registry.families()
+        if f.name == "mc_disk_cache_hits_total"
+        for s in f.series.values()
+    )
+    disk_misses = sum(
+        s.value
+        for f in registry.families()
+        if f.name == "mc_disk_cache_misses_total"
+        for s in f.series.values()
+    )
+    print("  disk sample cache:   " + _rate(disk_hits, disk_misses))
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -251,6 +381,10 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries:          {info['entries']}")
         print(f"bytes:            {info['bytes']}")
         print(f"samplers version: {info['samplers_version']}")
+        print(f"hits:             {info['hits']}")
+        print(f"misses:           {info['misses']}")
+        print(f"stores:           {info['stores']}")
+        print(f"evictions:        {info['evictions']}")
     else:
         removed = cache.clear()
         print(f"removed {removed} cached sample vector(s) from {cache.root}")
@@ -289,6 +423,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--report",
             action="store_true",
             help="print the full node table and ASCII Gantt timeline",
+        )
+        p.add_argument(
+            "--metrics",
+            default=None,
+            metavar="PATH",
+            help="write run metrics (Prometheus text exposition) to PATH",
+        )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="write the run trace to PATH: Chrome trace_event JSON "
+            "(open in chrome://tracing or Perfetto), or raw JSON-lines "
+            "when PATH ends in .jsonl",
         )
 
     p_run = sub.add_parser("run", help="execute a workflow on a simulated grid")
@@ -366,6 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
         "sampling input, so hits are bit-identical to recomputation",
     )
     p_mc.add_argument("--json", action="store_true", help="machine-readable output")
+    p_mc.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect and print run statistics: per-technique attempt "
+        "histograms (with --engine) and pool/disk cache hit rates",
+    )
     p_mc.set_defaults(fn=cmd_mc)
 
     p_cache = sub.add_parser(

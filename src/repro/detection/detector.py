@@ -112,6 +112,9 @@ class FailureDetector:
         self._reactor = reactor
         self._bus = bus
         self._attempts: dict[str, _Attempt] = {}
+        #: Heartbeat messages consumed (GRAM liveness traffic volume) —
+        #: scraped by :func:`repro.obs.observer.scrape_detector`.
+        self.heartbeats_observed = 0
         self.monitor: HeartbeatMonitor | None = None
         if heartbeat_timeout is not None:
             self.monitor = HeartbeatMonitor(reactor, bus, timeout=heartbeat_timeout)
@@ -131,6 +134,7 @@ class FailureDetector:
         engine-reuse path (:meth:`repro.engine.engine.WorkflowEngine.reset`)
         rewinds one detector instead of building one per run."""
         self._attempts.clear()
+        self.heartbeats_observed = 0
         if self.monitor is not None:
             self.monitor.reset()
 
@@ -167,6 +171,7 @@ class FailureDetector:
     def deliver(self, msg: Message) -> None:
         """Feed one message from the network / executor into the detector."""
         if isinstance(msg, Heartbeat):
+            self.heartbeats_observed += 1
             if self.monitor is not None:
                 self.monitor.observe(msg)
             return

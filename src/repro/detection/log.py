@@ -50,7 +50,17 @@ class MessageLog:
         self, sink: Callable[[Message], None]
     ) -> Callable[[Message], None]:
         """A sink wrapper that records each message, then forwards it —
-        drop-in for ``service.connect``."""
+        drop-in for ``service.connect``.
+
+        **Ordering contract**: each message is durably recorded *before*
+        the downstream sink sees it.  Delivery can have arbitrary side
+        effects — the detector publishes outcomes, recovery resubmits,
+        tasks crash — and any of those may raise; record-first guarantees
+        the log is always a complete prefix of what the sink was offered,
+        so a post-mortem replay reproduces the message that triggered the
+        failure instead of ending one message short.  The exception itself
+        still propagates to the caller unchanged.
+        """
 
         def recording_sink(msg: Message) -> None:
             self.record(msg)

@@ -182,6 +182,7 @@ class WorkflowEngine:
             on_resolution=self._on_resolution,
             checkpoints=self.runtime.checkpoints,
             strategy_resolver=strategy_resolver,
+            bus=self.runtime.bus,
         )
         self._subscriptions = [
             self.runtime.bus.subscribe(topic, self._on_task_event)

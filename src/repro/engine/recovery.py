@@ -37,13 +37,32 @@ from ..core.policy import FailurePolicy
 from ..core.states import TaskState
 from ..detection.detector import AttemptOutcome, FailureDetector
 from ..errors import RecoveryError
+from ..events import EventBus
 from ..execution import ExecutionService, SubmitRequest
 from ..reactor import Reactor, TimerHandle
 from ..wpdl.model import Activity, Program
 from .broker import Broker, ResolvedOption
 from .strategies import RecoveryStrategy, resolve_strategy
 
-__all__ = ["TaskResolution", "RecoveryCoordinator", "ActivityRun"]
+__all__ = [
+    "TaskResolution",
+    "RecoveryCoordinator",
+    "ActivityRun",
+    "RECOVERY_RETRY",
+    "RECOVERY_EXHAUSTED",
+    "RECOVERY_CHECKPOINT_RESTART",
+    "RECOVERY_REPLICATION_WIN",
+    "RECOVERY_RESOLVED",
+]
+
+#: Bus topics narrating strategy dispatch (payloads are plain dicts, like
+#: the ``engine.*`` topics, so observers need no recovery imports).  Only
+#: published when the coordinator is constructed with a bus.
+RECOVERY_RETRY = "recovery.retry"
+RECOVERY_EXHAUSTED = "recovery.exhausted"
+RECOVERY_CHECKPOINT_RESTART = "recovery.checkpoint_restart"
+RECOVERY_REPLICATION_WIN = "recovery.replication_win"
+RECOVERY_RESOLVED = "recovery.resolved"
 
 
 @dataclass(frozen=True)
@@ -107,11 +126,13 @@ class RecoveryCoordinator:
         on_resolution: Callable[[TaskResolution], None],
         checkpoints: CheckpointManager | None = None,
         strategy_resolver: Callable[[FailurePolicy], RecoveryStrategy] | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self._service = service
         self._detector = detector
         self._broker = broker
         self._reactor = reactor
+        self._bus = bus
         self._on_resolution = on_resolution
         self.checkpoints = checkpoints or CheckpointManager()
         self._resolve_strategy = (
@@ -274,6 +295,11 @@ class RecoveryCoordinator:
     def _flag_key(self, run: ActivityRun, slot: _Slot) -> str:
         return f"{run.activity.name}@slot{slot.index}"
 
+    def _publish(self, topic: str, detail: dict[str, Any]) -> None:
+        if self._bus is not None:
+            detail["at"] = self._reactor.now()
+            self._bus.publish(topic, detail)
+
     def _submit(self, run: ActivityRun, slot: _Slot) -> None:
         slot.retry_timer = None
         target: ResolvedOption = self._broker.resolve_index(
@@ -282,6 +308,15 @@ class RecoveryCoordinator:
         flag = run.strategy.submit_flag(
             run.activity, self.checkpoints, self._flag_key(run, slot)
         )
+        if flag is not None:
+            self._publish(
+                RECOVERY_CHECKPOINT_RESTART,
+                {
+                    "activity": run.activity.name,
+                    "slot": slot.index,
+                    "flag": flag,
+                },
+            )
         request = SubmitRequest(
             activity=run.activity.name,
             executable=target.executable,
@@ -317,6 +352,16 @@ class RecoveryCoordinator:
         )
         if decision is not None:
             slot.option_index = decision.option_index
+            self._publish(
+                RECOVERY_RETRY,
+                {
+                    "activity": run.activity.name,
+                    "slot": slot.index,
+                    "option": decision.option_index,
+                    "delay": decision.delay,
+                    "tries": slot.tries_used,
+                },
+            )
             if decision.delay > 0:
                 slot.retry_timer = self._reactor.call_later(
                     decision.delay, lambda: self._retry_fire(run, slot)
@@ -325,6 +370,14 @@ class RecoveryCoordinator:
                 self._retry_fire(run, slot)
             return
         slot.exhausted = True
+        self._publish(
+            RECOVERY_EXHAUSTED,
+            {
+                "activity": run.activity.name,
+                "slot": slot.index,
+                "tries": slot.tries_used,
+            },
+        )
         if all(s.exhausted for s in run.slots):
             if exception is not None:
                 # A masked-but-unmaskable exception: report it as what it
@@ -379,6 +432,15 @@ class RecoveryCoordinator:
 
     def _resolve_done(self, run: ActivityRun, outcome: AttemptOutcome) -> None:
         run.resolved = True
+        if len(run.slots) > 1:
+            self._publish(
+                RECOVERY_REPLICATION_WIN,
+                {
+                    "activity": run.activity.name,
+                    "host": outcome.hostname,
+                    "slots": len(run.slots),
+                },
+            )
         self._cancel_slots(run)
         for slot in run.slots:
             self.checkpoints.clear(self._flag_key(run, slot))
@@ -419,6 +481,14 @@ class RecoveryCoordinator:
 
     def _finish(self, run: ActivityRun, resolution: TaskResolution) -> None:
         self._runs.pop(run.activity.name, None)
+        self._publish(
+            RECOVERY_RESOLVED,
+            {
+                "activity": resolution.activity,
+                "state": resolution.state.value,
+                "tries": resolution.tries_used,
+            },
+        )
         self._on_resolution(resolution)
 
     # -- queries ----------------------------------------------------------------------------

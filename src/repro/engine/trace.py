@@ -1,10 +1,13 @@
 """Structured execution traces.
 
-Records the engine's lifecycle events and the detector's attempt outcomes
-from the event bus into one time-ordered trace — the machine-readable
-counterpart of :mod:`repro.report`'s human-readable views.  Useful for
-debugging recovery behaviour ("why did this retry happen at t=42?"), for
-assertions in tests, and for feeding external monitoring.
+:class:`EngineTrace` is the query layer over :class:`repro.obs.observer.
+RunObserver` — the single recording path for engine lifecycle events,
+detector attempt outcomes and recovery-strategy dispatch.  It adds the
+trace-shaped helpers (counting topics, per-node views, attempt lists, a
+rendered timeline) that tests and debugging sessions want, on top of the
+observer's events, spans and metrics.  Useful for debugging recovery
+behaviour ("why did this retry happen at t=42?"), for assertions in tests,
+and for feeding external monitoring via :mod:`repro.obs.export`.
 
 Usage::
 
@@ -13,99 +16,38 @@ Usage::
     engine.run()
     print(trace.render())
     assert trace.count("task.failed") == 2
+
+Attach/detach are idempotent, and the recording survives
+:meth:`WorkflowEngine.reset`: the engine only re-subscribes *its own*
+handlers, so one trace can observe an entire engine-reuse loop (every run
+is recorded; re-attaching between runs is a no-op).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
-
-from ..detection.detector import (
-    TASK_ACTIVE,
-    TASK_DONE,
-    TASK_EXCEPTION,
-    TASK_FAILED,
-    AttemptOutcome,
-)
-from ..events import EventBus, Subscription
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .engine import WorkflowEngine
+from ..detection.detector import TASK_DONE, TASK_EXCEPTION, TASK_FAILED
+from ..obs.observer import RecordedEvent, RunObserver
 
 __all__ = ["TraceEvent", "EngineTrace"]
 
-_ENGINE_TOPICS = "engine.*"
-_TASK_TOPICS = (TASK_ACTIVE, TASK_DONE, TASK_FAILED, TASK_EXCEPTION)
+#: Historical alias: trace events are the observer's recorded events.
+TraceEvent = RecordedEvent
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded event: time, topic, and a flat detail dict."""
-
-    at: float
-    topic: str
-    detail: dict[str, Any] = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        parts = " ".join(f"{k}={v}" for k, v in self.detail.items() if v is not None)
-        return f"{self.at:10.3f}  {self.topic:24s} {parts}"
-
-
-class EngineTrace:
-    """Subscribes to a bus and accumulates engine + detector events."""
-
-    def __init__(self, bus: EventBus) -> None:
-        self._bus = bus
-        self.events: list[TraceEvent] = []
-        self._subscriptions: list[Subscription] = [
-            bus.subscribe(_ENGINE_TOPICS, self._on_engine_event)
-        ]
-        for topic in _TASK_TOPICS:
-            self._subscriptions.append(bus.subscribe(topic, self._on_task_event))
-
-    @classmethod
-    def attach(cls, engine: "WorkflowEngine") -> "EngineTrace":
-        """Convenience: trace an engine's runtime bus."""
-        return cls(engine.runtime.bus)
-
-    def detach(self) -> None:
-        """Stop recording (the collected events remain readable)."""
-        for sub in self._subscriptions:
-            self._bus.unsubscribe(sub)
-        self._subscriptions.clear()
-
-    # -- recording -----------------------------------------------------------
-
-    def _on_engine_event(self, topic: str, payload: Any) -> None:
-        detail = dict(payload) if isinstance(payload, dict) else {"payload": payload}
-        at = float(detail.pop("at", 0.0) or 0.0)
-        self.events.append(TraceEvent(at=at, topic=topic, detail=detail))
-
-    def _on_task_event(self, topic: str, payload: Any) -> None:
-        if isinstance(payload, AttemptOutcome):
-            detail = {
-                "job": payload.job_id,
-                "activity": payload.activity,
-                "host": payload.hostname,
-                "reason": payload.reason,
-                "exception": payload.exception.name if payload.exception else None,
-            }
-            at = payload.at
-        else:  # pragma: no cover - defensive
-            detail, at = {"payload": payload}, 0.0
-        self.events.append(TraceEvent(at=at, topic=topic, detail=detail))
+class EngineTrace(RunObserver):
+    """A :class:`RunObserver` with trace-style query helpers."""
 
     # -- queries ----------------------------------------------------------------
 
     def count(self, topic: str) -> int:
         """Number of recorded events with exactly this topic."""
-        return sum(1 for e in self.events if e.topic == topic)
+        return sum(1 for e in self._events if e.topic == topic)
 
     def for_node(self, name: str) -> list[TraceEvent]:
         """All events concerning one node/activity."""
         return [
             e
-            for e in self.events
+            for e in self._events
             if e.detail.get("node") == name or e.detail.get("activity") == name
         ]
 
@@ -114,11 +56,11 @@ class EngineTrace:
         terminal = {TASK_DONE, TASK_FAILED, TASK_EXCEPTION}
         return [
             e
-            for e in self.events
+            for e in self._events
             if e.topic in terminal and e.detail.get("activity") == activity
         ]
 
     def render(self) -> str:
         """The full trace, one line per event, time-ordered."""
-        ordered = sorted(self.events, key=lambda e: (e.at, e.topic))
+        ordered = sorted(self._events, key=lambda e: (e.at, e.topic))
         return "\n".join(str(e) for e in ordered)

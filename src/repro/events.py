@@ -123,11 +123,16 @@ class EventBus:
             )
         self._seq += 1
         delivered = 0
-        for handler in list(self._exact.get(topic, {}).values()):
-            handler(topic, payload)
-            delivered += 1
+        exact = self._exact.get(topic)
+        if exact:
+            for handler in list(exact.values()):
+                handler(topic, payload)
+                delivered += 1
         for entry in self._patterns:
-            if entry.regex.match(topic):
+            # Empty entries (every subscriber unsubscribed) keep their
+            # compiled regex but need no match attempt — publishes on an
+            # unobserved bus stay nearly free.
+            if entry.handlers and entry.regex.match(topic):
                 for handler in list(entry.handlers.values()):
                     handler(topic, payload)
                     delivered += 1

@@ -97,6 +97,20 @@ class SimKernel:
         """Number of queued, non-cancelled events."""
         return self._timers.live_count()
 
+    def stats(self) -> dict[str, int]:
+        """Kernel-health counters for the observability scrapers: work done
+        (``events_processed``), timer churn (``timers_scheduled`` /
+        ``timers_cancelled``) and lazy-cancellation pressure
+        (``compactions``), plus the live queue depth (``pending``)."""
+        timers = self._timers
+        return {
+            "events_processed": self._events_processed,
+            "timers_scheduled": timers.scheduled_total,
+            "timers_cancelled": timers.cancelled_total,
+            "compactions": timers.compactions,
+            "pending": timers.live_count(),
+        }
+
     def reset(self) -> None:
         """Return to the pristine just-constructed state: clock at zero,
         empty queue, sequence counter restarted (so a reused kernel

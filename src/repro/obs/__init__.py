@@ -1,0 +1,60 @@
+"""Simulation-time-aware observability: metrics, spans, and exporters.
+
+One subsystem, three layers:
+
+* :mod:`repro.obs.metrics` — label-keyed counters / gauges / histograms
+  with no-op defaults when disabled and snapshot/merge for cross-process
+  Monte-Carlo aggregation;
+* :mod:`repro.obs.spans` — nested spans stamped on both the simulation
+  clock and the wall clock, recorded into a bounded ring;
+* :mod:`repro.obs.export` — JSON-lines, Prometheus text exposition, and
+  Chrome ``trace_event`` renderings of one recording;
+
+plus :mod:`repro.obs.observer`, the bus subscriber that turns engine /
+detector / recovery events into the recording, and
+:class:`~repro.obs.core.Observability`, the bundle the CLI threads through
+a run.
+"""
+
+from .core import NULL_OBS, Observability
+from .export import (
+    chrome_trace,
+    jsonl_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    ATTEMPT_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from .observer import RecordedEvent, RunObserver, scrape_detector, scrape_grid
+from .spans import Span, SpanRecorder
+
+__all__ = [
+    "ATTEMPT_BUCKETS",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Observability",
+    "RecordedEvent",
+    "RunObserver",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace",
+    "jsonl_lines",
+    "prometheus_text",
+    "scrape_detector",
+    "scrape_grid",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,46 @@
+"""The :class:`Observability` bundle: one metrics registry + one span
+recorder sharing an enabled flag and a simulation clock.
+
+Constructed *before* the world exists (the CLI builds it ahead of the
+grid), so the sim clock is late-bound with :meth:`Observability.bind_clock`
+once a reactor is available.  :data:`NULL_OBS` is the shared disabled
+instance that instrumented code paths can hold unconditionally — every
+call on it is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .metrics import MetricsRegistry
+from .spans import SpanRecorder
+
+__all__ = ["Observability", "NULL_OBS"]
+
+
+class Observability:
+    """Metrics + spans for one run (or one sweep) of the system."""
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Callable[[], float] | None = None,
+        span_capacity: int = 65536,
+    ) -> None:
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.spans = SpanRecorder(
+            enabled=enabled, clock=clock, capacity=span_capacity
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled or self.spans.enabled
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point span timestamps at a reactor's virtual clock."""
+        self.spans.bind_clock(clock)
+
+
+#: Shared disabled instance: safe to call, records nothing.
+NULL_OBS = Observability(enabled=False)

@@ -1,0 +1,253 @@
+"""Exporters for the observability layer.
+
+Three renderings of one recording:
+
+* :func:`jsonl_lines` / :func:`write_jsonl` — newline-delimited JSON, one
+  record per line (``{"kind": "event" | "span" | "metrics", ...}``).
+  Greppable, streamable, and the replay-friendly machine format;
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / cumulative ``_bucket{le=...}`` histograms),
+  scrape-able or diffable as a run summary;
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON object format: open the file in ``chrome://tracing``
+  or https://ui.perfetto.dev and the run renders as a timeline.  Spans are
+  laid out on the **simulation clock** (microsecond ticks = virtual
+  microseconds) and grouped into one named track per node/activity, so
+  nested ``node.run`` → ``task.attempt`` → ``recovery.backoff`` spans are
+  visible per task.
+
+All three are pure functions over the recorder/registry state — they take
+no locks and mutate nothing, so exporting mid-run is safe.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .metrics import MetricsRegistry
+    from .spans import Span
+
+__all__ = [
+    "jsonl_lines",
+    "write_jsonl",
+    "prometheus_text",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+
+# -- JSON lines ---------------------------------------------------------------
+
+
+def _json_default(value: Any) -> Any:
+    return str(value)
+
+
+def _finite(value: float) -> float | str:
+    """JSON has no Infinity/NaN literals; spell them as strings."""
+    if math.isinf(value) or math.isnan(value):
+        return str(value)
+    return value
+
+
+def jsonl_lines(
+    *,
+    events: Iterable[Any] = (),
+    spans: Iterable["Span"] = (),
+    metrics: "MetricsRegistry | None" = None,
+) -> Iterator[str]:
+    """One JSON document per record: every event, then every span, then a
+    single trailing metrics snapshot (when a registry is given)."""
+    for event in events:
+        yield json.dumps(
+            {
+                "kind": "event",
+                "at": _finite(event.at),
+                "topic": event.topic,
+                "detail": event.detail,
+            },
+            sort_keys=True,
+            default=_json_default,
+        )
+    for span in spans:
+        yield json.dumps(
+            {
+                "kind": "span",
+                "id": span.id,
+                "name": span.name,
+                "parent": span.parent,
+                "labels": span.labels,
+                "sim_start": _finite(span.sim_start),
+                "sim_end": None if span.sim_end is None else _finite(span.sim_end),
+                "wall_duration": span.wall_duration,
+            },
+            sort_keys=True,
+            default=_json_default,
+        )
+    if metrics is not None:
+        yield json.dumps(
+            {"kind": "metrics", "families": metrics.snapshot()},
+            sort_keys=True,
+            default=_json_default,
+        )
+
+
+def write_jsonl(
+    path: str | Path,
+    *,
+    events: Iterable[Any] = (),
+    spans: Iterable["Span"] = (),
+    metrics: "MetricsRegistry | None" = None,
+) -> int:
+    """Write the JSON-lines export to *path*; returns the line count."""
+    count = 0
+    with Path(path).open("w") as fh:
+        for line in jsonl_lines(events=events, spans=spans, metrics=metrics):
+            fh.write(line + "\n")
+            count += 1
+    return count
+
+
+# -- Prometheus text exposition -----------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Metric names may arrive dotted; Prometheus wants [a-zA-Z0-9_:]."""
+    return "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+
+
+def _prom_labels(
+    labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()
+) -> str:
+    items = [*sorted(labels.items()), *extra]
+    if not items:
+        return ""
+    rendered = ",".join(
+        f'{k}="{v.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in items
+    )
+    return "{" + rendered + "}"
+
+
+def _prom_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: "MetricsRegistry") -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    Histograms render cumulatively with the conventional ``_bucket``
+    (``le`` upper bounds, ``+Inf`` last), ``_sum`` and ``_count`` series.
+    """
+    lines: list[str] = []
+    for family in registry.families():
+        name = _prom_name(family.name)
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for key, instrument in family.series.items():
+            labels = dict(key)
+            if family.kind == "histogram":
+                cumulative = 0
+                bounds = [*instrument.bounds, float("inf")]
+                for bound, bucket_count in zip(bounds, instrument.counts):
+                    cumulative += bucket_count
+                    le = "+Inf" if math.isinf(bound) else _prom_value(bound)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_prom_labels(labels, (('le', le),))} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} "
+                    f"{_prom_value(instrument.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} {instrument.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_prom_labels(labels)} {_prom_value(instrument.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+#: Simulated seconds → trace microseconds.  Perfetto's time axis is in
+#: microsecond ticks; mapping 1 virtual second to 1 trace second keeps
+#: timestamps human-readable.
+SIM_TO_MICROS = 1_000_000.0
+
+#: Track (``tid``) a span lands on: its node/activity/technique label, so
+#: each task's attempts and recovery waits nest on one named row.
+_TRACK_LABELS = ("node", "activity", "technique")
+
+
+def _track_for(span: "Span") -> str:
+    for key in _TRACK_LABELS:
+        value = span.labels.get(key)
+        if value is not None:
+            return str(value)
+    return span.name.split(".", 1)[0]
+
+
+def chrome_trace(spans: Iterable["Span"], *, process_name: str = "repro") -> dict:
+    """Spans as a Chrome ``trace_event`` JSON object (complete events).
+
+    Open spans are rendered with zero duration at their start time rather
+    than dropped, so an interrupted run still produces a loadable trace.
+    """
+    tracks: dict[str, int] = {}
+    events: list[dict] = []
+    for span in spans:
+        track = _track_for(span)
+        tid = tracks.setdefault(track, len(tracks) + 1)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": span.sim_start * SIM_TO_MICROS,
+                "dur": span.sim_duration * SIM_TO_MICROS,
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    **{k: str(v) for k, v in span.labels.items()},
+                    "wall_seconds": round(span.wall_duration, 9),
+                },
+            }
+        )
+    meta: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for track, tid in tracks.items():
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, spans: Iterable["Span"], *, process_name: str = "repro"
+) -> int:
+    """Write the Chrome trace to *path*; returns the event count."""
+    payload = chrome_trace(spans, process_name=process_name)
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+    return len(payload["traceEvents"])

@@ -1,0 +1,388 @@
+"""Label-keyed metrics: counters, gauges, histograms and timers.
+
+The registry is the quantitative half of :mod:`repro.obs` (spans are the
+temporal half).  Instruments are keyed by ``(family name, sorted labels)``
+so one call site can fan out per technique / task / host without
+pre-declaring series::
+
+    registry = MetricsRegistry()
+    registry.counter("recovery_retries_total", activity="FU").inc()
+    registry.histogram("task_attempt_sim_seconds", technique="retrying").observe(31.4)
+
+Design constraints, in order:
+
+* **cheap when off** — a disabled registry returns shared no-op
+  instruments without touching its tables, so instrumented hot paths pay
+  one method call and an ``enabled`` check (the ``bench_engine_mc``
+  sequential path asserts the total stays under 2%);
+* **mergeable** — Monte-Carlo shards run in pool workers; each worker
+  snapshots its local registry (:meth:`MetricsRegistry.snapshot`, a plain
+  JSON-able dict) and the parent folds the snapshots back in
+  (:meth:`MetricsRegistry.merge`).  Counters and histograms add, gauges
+  keep the latest value;
+* **export-agnostic** — the registry stores raw per-bucket counts; the
+  Prometheus text / JSON-lines renderings live in :mod:`repro.obs.export`.
+
+Histogram buckets are *upper bounds* of non-cumulative buckets plus an
+implicit ``+Inf`` overflow; exporters cumulate on the way out, so
+``sum(counts) == count`` always holds (property-tested).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterator, Mapping
+
+from ..errors import GridWFSError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsError",
+    "DEFAULT_BUCKETS",
+    "ATTEMPT_BUCKETS",
+]
+
+
+class MetricsError(GridWFSError):
+    """Inconsistent metric declaration (type or bucket mismatch)."""
+
+
+#: Default histogram upper bounds: log-ish spread covering sub-second
+#: overheads through multi-thousand-second simulated completion times.
+DEFAULT_BUCKETS = (
+    0.001, 0.01, 0.1, 1.0, 5.0, 10.0, 50.0, 100.0,
+    500.0, 1000.0, 5000.0, 10000.0, 50000.0,
+)
+
+#: Bucket bounds for small integer counts (attempts, retries): one bucket
+#: per low count, Fibonacci-ish above.
+ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0)
+
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(f"counters only go up (amount={amount!r})")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (pool sizes, pending events, ratios)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Bucketed distribution with exact sum and count.
+
+    ``counts[i]`` is the number of observations in ``(bounds[i-1],
+    bounds[i]]``; ``counts[-1]`` is the ``+Inf`` overflow bucket.  The
+    invariant ``sum(counts) == count`` is structural, not maintained.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        if list(bounds) != sorted(set(bounds)):
+            raise MetricsError(f"bucket bounds must be sorted/unique: {bounds!r}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation); ``inf`` if it lands in overflow."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target and n:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    bounds: tuple[float, ...] = ()
+    counts: list[int] = []
+    sum = 0.0
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return float("nan")
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """All series of one metric name: kind, help text, bucket layout."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "series")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: tuple[float, ...] | None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.series: dict[LabelItems, Counter | Gauge | Histogram] = {}
+
+
+class _TimerContext:
+    """Context manager observing elapsed clock time into a histogram."""
+
+    __slots__ = ("_histogram", "_clock", "_start")
+
+    def __init__(self, histogram, clock: Callable[[], float]) -> None:
+        self._histogram = histogram
+        self._clock = clock
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(self._clock() - self._start)
+
+
+class MetricsRegistry:
+    """Process-local table of labelled instruments.
+
+    A registry constructed with ``enabled=False`` hands out shared no-op
+    instruments and records nothing — the cheap default an uninstrumented
+    run pays for having observability compiled in.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: dict[str, _Family] = {}
+
+    # -- instrument lookup ---------------------------------------------------
+
+    def _series(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: tuple[float, ...] | None,
+        labels: Mapping[str, Any],
+    ):
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        key = _label_key(labels)
+        instrument = family.series.get(key)
+        if instrument is None:
+            if kind == "histogram":
+                instrument = Histogram(family.buckets or DEFAULT_BUCKETS)
+            else:
+                instrument = _KINDS[kind]()
+            family.series[key] = instrument
+        return instrument
+
+    def counter(self, name: str, *, help: str = "", **labels: Any) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._series(name, "counter", help, None, labels)
+
+    def gauge(self, name: str, *, help: str = "", **labels: Any) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._series(name, "gauge", help, None, labels)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self._series(name, "histogram", help, buckets, labels)
+
+    def timer(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        *,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+        **labels: Any,
+    ) -> _TimerContext:
+        """``with registry.timer("phase_seconds", clock):`` — observes the
+        elapsed *clock* time (sim or wall, caller's choice) on exit."""
+        return _TimerContext(
+            self.histogram(name, help=help, buckets=buckets, **labels), clock
+        )
+
+    # -- iteration / queries -------------------------------------------------
+
+    def families(self) -> Iterator[_Family]:
+        """Families in registration order (export order)."""
+        return iter(self._families.values())
+
+    def value(self, name: str, **labels: Any) -> float | None:
+        """Current value of one counter/gauge series, or None if absent."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        instrument = family.series.get(_label_key(labels))
+        return None if instrument is None else instrument.value
+
+    def get_histogram(self, name: str, **labels: Any) -> Histogram | None:
+        family = self._families.get(name)
+        if family is None:
+            return None
+        instrument = family.series.get(_label_key(labels))
+        return instrument if isinstance(instrument, Histogram) else None
+
+    # -- snapshots (cross-process aggregation) -------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every family and series.
+
+        The format is the wire contract between pool workers and the
+        parent (:meth:`merge`) and the payload of the JSON-lines
+        exporter's ``metrics`` record.
+        """
+        out: dict = {}
+        for family in self._families.values():
+            series = []
+            for key, instrument in family.series.items():
+                record: dict[str, Any] = {"labels": dict(key)}
+                if isinstance(instrument, Histogram):
+                    record["counts"] = list(instrument.counts)
+                    record["sum"] = instrument.sum
+                    record["count"] = instrument.count
+                else:
+                    record["value"] = instrument.value
+                series.append(record)
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "buckets": list(family.buckets) if family.buckets else None,
+                "series": series,
+            }
+        return out
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry (typically a pool
+        worker) into this one: counters and histograms add, gauges take
+        the snapshot's value."""
+        if not self.enabled:
+            return
+        for name, family_snap in snapshot.items():
+            kind = family_snap["kind"]
+            buckets = family_snap.get("buckets")
+            buckets = tuple(buckets) if buckets else None
+            for record in family_snap["series"]:
+                labels = record["labels"]
+                if kind == "counter":
+                    self.counter(name, help=family_snap["help"], **labels).inc(
+                        record["value"]
+                    )
+                elif kind == "gauge":
+                    self.gauge(name, help=family_snap["help"], **labels).set(
+                        record["value"]
+                    )
+                else:
+                    hist = self.histogram(
+                        name,
+                        help=family_snap["help"],
+                        buckets=buckets,
+                        **labels,
+                    )
+                    if len(hist.counts) != len(record["counts"]):
+                        raise MetricsError(
+                            f"histogram {name!r} bucket layout mismatch on merge"
+                        )
+                    for i, n in enumerate(record["counts"]):
+                        hist.counts[i] += n
+                    hist.sum += record["sum"]
+                    hist.count += record["count"]
+
+    def clear(self) -> None:
+        """Drop every family and series."""
+        self._families.clear()

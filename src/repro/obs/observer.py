@@ -1,0 +1,389 @@
+"""Bus-driven run observation: events → spans + metrics, one recording path.
+
+:class:`RunObserver` subscribes to the three topic families the stack
+publishes on its :class:`~repro.events.EventBus` —
+
+* ``engine.*``   — node/workflow lifecycle (plain-dict payloads);
+* ``task.*``     — the failure detector's per-attempt state changes
+  (:class:`~repro.detection.detector.AttemptOutcome` payloads);
+* ``recovery.*`` — the recovery coordinator's strategy dispatch (retries,
+  backoff waits, checkpoint restarts, replication wins; plain dicts) —
+
+and turns them into one time-ordered event stream plus nested spans
+(``workflow.run`` ▸ ``node.run`` ▸ ``task.attempt`` / ``recovery.backoff``)
+and labelled metrics.  :class:`~repro.engine.trace.EngineTrace` is a thin
+query layer over this recording, and every exporter
+(:mod:`repro.obs.export`) renders it — the engine has exactly one
+observation path.
+
+Topic names are matched as string literals on purpose: the engine
+documents its bus payloads as plain dicts precisely so subscribers need no
+engine imports, and depending only on the published contract keeps this
+module import-cycle-free (``repro.engine`` imports us for ``EngineTrace``).
+
+The observer survives :meth:`WorkflowEngine.reset`: its subscriptions are
+its own (the engine only re-subscribes *its* handlers), and per-run span
+bookkeeping is cleared when a workflow finishes, so engine-reuse loops
+record every run exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..events import EventBus, Subscription
+from .core import Observability
+from .metrics import ATTEMPT_BUCKETS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import WorkflowEngine
+    from ..grid.simgrid import SimulatedGrid
+    from .metrics import MetricsRegistry
+    from .spans import Span
+
+__all__ = ["RecordedEvent", "RunObserver", "scrape_grid", "scrape_detector"]
+
+
+@dataclass(frozen=True)
+class RecordedEvent:
+    """One observed bus event: time, topic, and a flat detail dict."""
+
+    at: float
+    topic: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(
+            f"{k}={v}" for k, v in self.detail.items() if v is not None
+        )
+        return f"{self.at:10.3f}  {self.topic:24s} {parts}"
+
+
+_TERMINAL_TASK_TOPICS = ("task.done", "task.failed", "task.exception")
+
+
+class RunObserver:
+    """Records engine/detector/recovery bus traffic into one stream."""
+
+    def __init__(
+        self,
+        bus: EventBus | None = None,
+        *,
+        obs: Observability | None = None,
+        clock: Any = None,
+        max_events: int = 100_000,
+    ) -> None:
+        self.obs = obs if obs is not None else Observability()
+        if clock is not None:
+            self.obs.bind_clock(clock)
+        self._events: deque[RecordedEvent] = deque(maxlen=max_events)
+        self._bus: EventBus | None = None
+        self._subscriptions: list[Subscription] = []
+        # Per-run span bookkeeping (cleared on workflow_finished).
+        self._workflow_span: "Span | None" = None
+        self._node_spans: dict[str, "Span"] = {}
+        self._attempt_spans: dict[str, "Span"] = {}
+        if bus is not None:
+            self.attach_bus(bus)
+
+    # -- wiring --------------------------------------------------------------
+
+    @classmethod
+    def attach(
+        cls, engine: "WorkflowEngine", obs: Observability | None = None
+    ) -> "RunObserver":
+        """Observe an engine's runtime bus on its reactor's clock."""
+        return cls(
+            engine.runtime.bus, obs=obs, clock=engine.runtime.reactor.now
+        )
+
+    def attach_bus(self, bus: EventBus) -> "RunObserver":
+        """Subscribe to *bus*.  Idempotent: re-attaching to the bus we are
+        already subscribed to is a no-op, so callers may safely re-attach
+        after :meth:`WorkflowEngine.reset` without double-recording."""
+        if self._bus is bus and self._subscriptions:
+            return self
+        if self._subscriptions:
+            self.detach()
+        self._bus = bus
+        self._subscriptions = [
+            bus.subscribe("engine.*", self._on_engine_event),
+            bus.subscribe("task.*", self._on_task_event),
+            bus.subscribe("recovery.*", self._on_recovery_event),
+        ]
+        return self
+
+    def detach(self) -> None:
+        """Stop recording (idempotent; the recording remains readable)."""
+        if self._bus is not None:
+            for sub in self._subscriptions:
+                self._bus.unsubscribe(sub)
+        self._subscriptions.clear()
+
+    @property
+    def attached(self) -> bool:
+        return bool(self._subscriptions)
+
+    # -- recorded state ------------------------------------------------------
+
+    @property
+    def events(self) -> list[RecordedEvent]:
+        """The observed events, oldest first (bounded ring)."""
+        return list(self._events)
+
+    @property
+    def spans(self) -> list["Span"]:
+        return self.obs.spans.spans
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        return self.obs.metrics
+
+    # -- engine lifecycle ----------------------------------------------------
+
+    def _on_engine_event(self, topic: str, payload: Any) -> None:
+        detail = (
+            dict(payload) if isinstance(payload, dict) else {"payload": payload}
+        )
+        at = float(detail.pop("at", 0.0) or 0.0)
+        self._events.append(RecordedEvent(at=at, topic=topic, detail=detail))
+        node = detail.get("node")
+        workflow = detail.get("workflow", "")
+        spans = self.obs.spans
+        metrics = self.obs.metrics
+        if topic == "engine.node_launched":
+            if self._workflow_span is None:
+                self._workflow_span = spans.begin(
+                    "workflow.run", workflow=workflow
+                )
+            metrics.counter(
+                "engine_nodes_launched_total",
+                help="nodes entering RUNNING",
+                workflow=workflow,
+            ).inc()
+            self._node_spans[node] = spans.begin(
+                "node.run",
+                parent=self._workflow_span.id,
+                node=node,
+                workflow=workflow,
+            )
+        elif topic in ("engine.node_completed", "engine.node_cancelled"):
+            status = detail.get("status", "cancelled")
+            span = self._node_spans.pop(node, None)
+            if span is not None:
+                span.labels["status"] = status
+                spans.end(span)
+            metrics.counter(
+                "engine_node_completions_total",
+                help="terminal node resolutions by status",
+                status=status,
+            ).inc()
+            tries = detail.get("tries")
+            if tries:
+                metrics.histogram(
+                    "task_tries",
+                    help="submission attempts consumed per node resolution",
+                    buckets=ATTEMPT_BUCKETS,
+                    node=node,
+                ).observe(float(tries))
+        elif topic == "engine.workflow_finished":
+            status = detail.get("status", "")
+            metrics.counter(
+                "engine_workflow_runs_total",
+                help="workflow terminations by status",
+                status=status,
+            ).inc()
+            if self._workflow_span is not None:
+                self._workflow_span.labels["status"] = status
+                spans.end(self._workflow_span)
+            # Engine reuse starts the next run with fresh bookkeeping.
+            self._workflow_span = None
+            self._node_spans.clear()
+            self._attempt_spans.clear()
+
+    # -- detector attempts ---------------------------------------------------
+
+    def _on_task_event(self, topic: str, payload: Any) -> None:
+        # AttemptOutcome, duck-typed via the published contract.
+        job = getattr(payload, "job_id", None)
+        if job is None:  # pragma: no cover - defensive
+            self._events.append(
+                RecordedEvent(at=0.0, topic=topic, detail={"payload": payload})
+            )
+            return
+        activity = payload.activity
+        exception = payload.exception
+        detail = {
+            "job": job,
+            "activity": activity,
+            "host": payload.hostname,
+            "reason": payload.reason,
+            "exception": exception.name if exception else None,
+        }
+        at = payload.at
+        self._events.append(RecordedEvent(at=at, topic=topic, detail=detail))
+        spans = self.obs.spans
+        if topic == "task.active":
+            node_span = self._node_spans.get(activity)
+            self._attempt_spans[job] = spans.begin(
+                "task.attempt",
+                parent=node_span.id if node_span is not None else None,
+                activity=activity,
+                job=job,
+                host=payload.hostname,
+            )
+        elif topic in _TERMINAL_TASK_TOPICS:
+            outcome = topic.rsplit(".", 1)[1]
+            span = self._attempt_spans.pop(job, None)
+            if span is None:
+                # Terminal before TaskStart (e.g. instant crash): record a
+                # zero-duration attempt so the trace still shows it.
+                node_span = self._node_spans.get(activity)
+                span = spans.begin(
+                    "task.attempt",
+                    parent=node_span.id if node_span is not None else None,
+                    activity=activity,
+                    job=job,
+                    host=payload.hostname,
+                )
+            span.labels["outcome"] = outcome
+            if payload.reason:
+                span.labels["reason"] = payload.reason
+            spans.end(span)
+            metrics = self.obs.metrics
+            metrics.counter(
+                "task_attempts_total",
+                help="terminal detector outcomes per attempt",
+                activity=activity,
+                outcome=outcome,
+            ).inc()
+            metrics.histogram(
+                "task_attempt_sim_seconds",
+                help="virtual seconds from TaskStart to terminal outcome",
+                activity=activity,
+            ).observe(span.sim_duration)
+
+    # -- recovery dispatch ---------------------------------------------------
+
+    def _on_recovery_event(self, topic: str, payload: Any) -> None:
+        detail = (
+            dict(payload) if isinstance(payload, dict) else {"payload": payload}
+        )
+        at = float(detail.pop("at", 0.0) or 0.0)
+        self._events.append(RecordedEvent(at=at, topic=topic, detail=detail))
+        activity = detail.get("activity", "")
+        metrics = self.obs.metrics
+        if topic == "recovery.retry":
+            delay = float(detail.get("delay", 0.0) or 0.0)
+            metrics.counter(
+                "recovery_retries_total",
+                help="resubmissions scheduled after detected crashes",
+                activity=activity,
+            ).inc()
+            metrics.histogram(
+                "recovery_retry_delay_seconds",
+                help="strategy-chosen wait before each resubmission",
+                activity=activity,
+            ).observe(delay)
+            if delay > 0:
+                node_span = self._node_spans.get(activity)
+                self.obs.spans.interval(
+                    "recovery.backoff",
+                    at,
+                    at + delay,
+                    parent=node_span.id if node_span is not None else None,
+                    activity=activity,
+                    slot=detail.get("slot", 0),
+                )
+        elif topic == "recovery.checkpoint_restart":
+            metrics.counter(
+                "recovery_checkpoint_restarts_total",
+                help="submissions restarting from a saved checkpoint flag",
+                activity=activity,
+            ).inc()
+        elif topic == "recovery.replication_win":
+            metrics.counter(
+                "recovery_replication_wins_total",
+                help="replicated activities resolved by this host's replica",
+                activity=activity,
+                host=detail.get("host", ""),
+            ).inc()
+        elif topic == "recovery.exhausted":
+            metrics.counter(
+                "recovery_slots_exhausted_total",
+                help="retry loops that ran out of budget",
+                activity=activity,
+            ).inc()
+        elif topic == "recovery.resolved":
+            metrics.histogram(
+                "recovery_tries_per_resolution",
+                help="total attempts consumed per task-level resolution",
+                buckets=ATTEMPT_BUCKETS,
+                activity=activity,
+                state=detail.get("state", ""),
+            ).observe(float(detail.get("tries", 0) or 0))
+
+
+# -- end-of-run scrapers ------------------------------------------------------
+
+
+def scrape_grid(registry: "MetricsRegistry", grid: "SimulatedGrid") -> None:
+    """Pull the simulated grid's internal counters into *registry*.
+
+    The sim kernel and network keep cheap plain-int counters on their hot
+    paths; scraping them once at export time costs nothing per event.
+    """
+    kernel_stats = grid.kernel.stats()
+    gauge = registry.gauge
+    gauge(
+        "sim_events_processed", help="callbacks executed by the sim kernel"
+    ).set(kernel_stats["events_processed"])
+    gauge(
+        "sim_timers_scheduled", help="timer entries pushed onto the heap"
+    ).set(kernel_stats["timers_scheduled"])
+    gauge(
+        "sim_timers_cancelled", help="timer entries lazily cancelled"
+    ).set(kernel_stats["timers_cancelled"])
+    gauge(
+        "sim_timer_compactions", help="in-place heap compaction passes"
+    ).set(kernel_stats["compactions"])
+    gauge(
+        "sim_cancelled_timer_ratio",
+        help="cancelled / scheduled timers (lazy-cancellation pressure)",
+    ).set(
+        kernel_stats["timers_cancelled"]
+        / max(1, kernel_stats["timers_scheduled"])
+    )
+    net = grid.network.stats
+    for name, value, help_text in (
+        ("network_messages_sent", net.sent, "messages offered to the network"),
+        (
+            "network_messages_delivered",
+            net.delivered,
+            "messages reaching the client sink",
+        ),
+        (
+            "network_messages_dropped_partition",
+            net.dropped_partition,
+            "drops from host partitions",
+        ),
+        (
+            "network_messages_dropped_loss",
+            net.dropped_loss,
+            "drops from i.i.d. message loss",
+        ),
+    ):
+        gauge(name, help=help_text).set(value)
+    gauge(
+        "gram_jobs_submitted", help="submissions accepted by the GRAM service"
+    ).set(grid.gram.submitted_count)
+
+
+def scrape_detector(registry: "MetricsRegistry", detector: Any) -> None:
+    """Record the failure detector's heartbeat traffic counter."""
+    registry.gauge(
+        "detector_heartbeats_observed",
+        help="heartbeat messages consumed by the failure detector",
+    ).set(getattr(detector, "heartbeats_observed", 0))

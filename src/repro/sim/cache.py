@@ -109,6 +109,39 @@ class SampleCache:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.npy"
 
+    # -- usage statistics -----------------------------------------------------
+
+    _STATS_FIELDS = ("hits", "misses", "stores", "evictions")
+
+    def _stats_path(self) -> Path:
+        return self.root / "stats.json"
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative hit/miss/store/eviction counts for this cache root.
+
+        Persisted in ``stats.json`` next to the entries, so the counters
+        aggregate across processes and survive restarts — ``repro cache
+        info`` reports lifetime usage, not one process's view.
+        """
+        try:
+            raw = json.loads(self._stats_path().read_text())
+        except (OSError, ValueError):
+            raw = {}
+        return {f: int(raw.get(f, 0)) for f in self._STATS_FIELDS}
+
+    def _bump(self, field: str) -> None:
+        """Best-effort increment of one persistent counter.  Statistics
+        must never break sampling: any I/O failure is swallowed, and a
+        racing writer merely loses a count (the entries themselves are
+        written atomically; this file is advisory)."""
+        try:
+            stats = self.stats()
+            stats[field] += 1
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._stats_path().write_text(json.dumps(stats, sort_keys=True))
+        except OSError:  # pragma: no cover - advisory only
+            pass
+
     # -- storage -------------------------------------------------------------
 
     def load(self, key: str) -> np.ndarray | None:
@@ -120,12 +153,17 @@ class SampleCache:
         """
         path = self.path_for(key)
         try:
-            return np.load(path, allow_pickle=False)
+            samples = np.load(path, allow_pickle=False)
         except FileNotFoundError:
+            self._bump("misses")
             return None
         except (OSError, ValueError):
             path.unlink(missing_ok=True)
+            self._bump("evictions")
+            self._bump("misses")
             return None
+        self._bump("hits")
+        return samples
 
     def store(self, key: str, samples: np.ndarray) -> Path:
         """Persist *samples* under *key* atomically; returns the path."""
@@ -138,6 +176,7 @@ class SampleCache:
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+        self._bump("stores")
         return path
 
     # -- maintenance ---------------------------------------------------------
@@ -148,20 +187,24 @@ class SampleCache:
         return sorted(self.root.glob("*.npy"))
 
     def info(self) -> dict:
-        """Entry count and total bytes — the ``repro cache info`` payload."""
+        """Entry count, total bytes and lifetime usage counters — the
+        ``repro cache info`` payload."""
         entries = self._entries()
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
             "samplers_version": SAMPLERS_VERSION,
+            **self.stats(),
         }
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and reset the usage counters); returns how
+        many entries were removed."""
         entries = self._entries()
         for path in entries:
             path.unlink(missing_ok=True)
+        self._stats_path().unlink(missing_ok=True)
         return len(entries)
 
 

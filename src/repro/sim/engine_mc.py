@@ -136,6 +136,12 @@ class EngineSampler:
             self._grid.install(spec.hostname, "task", behavior)
         #: Cumulative kernel events across all runs (throughput diagnostics).
         self.events_processed = 0
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when set,
+        #: each run records its attempt count and completion time (labelled
+        #: by technique).  ``None`` keeps the hot path untouched — the
+        #: engine Monte-Carlo benchmark asserts the instrumented-but-
+        #: disabled path stays within 2% of this one.
+        self.metrics = None
         self._engine: WorkflowEngine | None = None
 
     def run(self, seed: int) -> float:
@@ -155,6 +161,26 @@ class EngineSampler:
                 f"engine run for {self.technique!r} failed: "
                 f"{result.node_statuses}"
             )
+        metrics = self.metrics
+        if metrics is not None:
+            from ..obs.metrics import ATTEMPT_BUCKETS
+
+            metrics.counter(
+                "mc_runs_total",
+                help="engine-level Monte-Carlo runs executed",
+                technique=self.technique,
+            ).inc()
+            metrics.histogram(
+                "mc_attempts",
+                help="submission attempts consumed per run",
+                buckets=ATTEMPT_BUCKETS,
+                technique=self.technique,
+            ).observe(float(sum(result.tries.values())))
+            metrics.histogram(
+                "mc_completion_sim_seconds",
+                help="virtual completion time per run",
+                technique=self.technique,
+            ).observe(result.completion_time)
         return result.completion_time
 
 
@@ -206,6 +232,7 @@ def engine_samples(
     jobs: int | None = None,
     timeout: float = 10_000_000.0,
     cache=None,
+    metrics=None,
 ) -> np.ndarray:
     """Completion times from *runs* independent engine executions.
 
@@ -225,6 +252,12 @@ def engine_samples(
     returns the stored vector without running anything; a miss computes,
     stores and returns it.  Keys cover every sampling input, so cached
     and freshly computed vectors are interchangeable bit for bit.
+
+    *metrics* is an optional :class:`~repro.obs.metrics.MetricsRegistry`;
+    when given (and enabled) it accumulates per-run attempt/completion
+    histograms, pool sampler-cache counters (merged back from worker
+    processes) and disk-cache hit/miss counters.  ``None`` — the default —
+    records nothing and adds no measurable overhead.
     """
     from .cache import resolve_cache
     from .parallel import engine_samples_parallel
@@ -241,6 +274,13 @@ def engine_samples(
             extra={"timeout": timeout},
         )
         hit = store.load(key)
+        if metrics is not None:
+            metrics.counter(
+                "mc_disk_cache_hits_total" if hit is not None
+                else "mc_disk_cache_misses_total",
+                help="sample-vector lookups in the on-disk cache",
+                technique=technique,
+            ).inc()
         if hit is not None:
             return hit
     samples = engine_samples_parallel(
@@ -250,6 +290,7 @@ def engine_samples(
         base_seed=base_seed,
         jobs=jobs,
         timeout=timeout,
+        metrics=metrics,
     )
     if store is not None:
         store.store(key, samples)

@@ -42,6 +42,7 @@ multiprocessing overhead.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool
 
@@ -49,7 +50,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from .params import SimulationParams
-from .pool import get_pool, shutdown_pool, worker_sampler
+from .pool import get_pool, sampler_cache_info, shutdown_pool, worker_sampler
 
 __all__ = [
     "SEED_STRIDE",
@@ -148,29 +149,69 @@ def _engine_shard(
     start: int,
     stop: int,
     timeout: float,
-) -> tuple[int, np.ndarray]:
+    collect_stats: bool = False,
+) -> tuple[int, np.ndarray, dict | None]:
     """Worker body: completion times for run indices ``[start, stop)``.
 
     Module-level (picklable) and usable in process: the sequential path
     calls it directly so ``jobs=1`` and ``jobs=N`` execute the same code.
     The sampler comes from the per-process cache, so consecutive shards of
     one configuration skip world construction entirely.
+
+    With *collect_stats* the third element is a
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot` covering this
+    shard: per-run attempt/completion histograms (recorded by the
+    sampler), the shard's sampler-cache hit or miss, and its wall-clock
+    duration.  Snapshots are plain dicts, so they cross the process
+    boundary without pickling any registry machinery; the parent folds
+    them together with :meth:`MetricsRegistry.merge`.  Stats collection
+    never perturbs the simulation's draw sequence, so sample vectors stay
+    bit-identical either way.
     """
+    registry = None
+    if collect_stats:
+        from ..obs.metrics import MetricsRegistry
+
+        wall_start = time.perf_counter()
+        cache_before = sampler_cache_info()
+        registry = MetricsRegistry()
     sampler = worker_sampler(technique, params, timeout)
+    if registry is not None:
+        cache_after = sampler_cache_info()
+        registry.counter(
+            "mc_pool_sampler_cache_hits_total",
+            help="shards served by an already-built worker sampler",
+        ).inc(cache_after["hits"] - cache_before["hits"])
+        registry.counter(
+            "mc_pool_sampler_cache_misses_total",
+            help="shards that had to build the sampler world",
+        ).inc(cache_after["misses"] - cache_before["misses"])
+    previous_metrics = sampler.metrics
+    sampler.metrics = registry
     out = np.empty(stop - start)
-    for index in range(start, stop):
-        seed = seed_for(base_seed, index)
-        try:
-            out[index - start] = sampler.run(seed)
-        except Exception as exc:
-            # Wrap with replay context: chained causes do not survive the
-            # executor's pickling, but the message does.
-            raise SimulationError(
-                f"engine-level Monte-Carlo run failed: "
-                f"technique={technique!r} run_index={index} seed={seed} "
-                f"({type(exc).__name__}: {exc})"
-            ) from exc
-    return start, out
+    try:
+        for index in range(start, stop):
+            seed = seed_for(base_seed, index)
+            try:
+                out[index - start] = sampler.run(seed)
+            except Exception as exc:
+                # Wrap with replay context: chained causes do not survive
+                # the executor's pickling, but the message does.
+                raise SimulationError(
+                    f"engine-level Monte-Carlo run failed: "
+                    f"technique={technique!r} run_index={index} seed={seed} "
+                    f"({type(exc).__name__}: {exc})"
+                ) from exc
+    finally:
+        sampler.metrics = previous_metrics
+    if registry is None:
+        return start, out, None
+    registry.histogram(
+        "mc_shard_wall_seconds",
+        help="wall-clock duration of one contiguous run shard",
+        technique=technique,
+    ).observe(time.perf_counter() - wall_start)
+    return start, out, registry.snapshot()
 
 
 def _submit_resilient(jobs: int, submit_all):
@@ -196,31 +237,58 @@ def engine_samples_parallel(
     base_seed: int,
     jobs: int | None = None,
     timeout: float = DEFAULT_RUN_TIMEOUT,
+    metrics=None,
 ) -> np.ndarray:
     """Completion times from *runs* end-to-end engine executions, fanned out
-    over *jobs* worker processes (bit-identical to ``jobs=1``)."""
+    over *jobs* worker processes (bit-identical to ``jobs=1``).
+
+    *metrics* is an optional enabled
+    :class:`~repro.obs.metrics.MetricsRegistry`: each shard then collects
+    per-run histograms and cache counters locally (in its worker process)
+    and the snapshots are merged into *metrics* here — per-worker
+    aggregation without any shared state.
+    """
     if runs < 1:
         raise SimulationError(f"runs must be >= 1, got {runs!r}")
+    collect = metrics is not None and metrics.enabled
     jobs = min(resolve_jobs(jobs), runs)
     if jobs <= 1:
-        return _engine_shard(technique, params, base_seed, 0, runs, timeout)[1]
+        start, times, snapshot = _engine_shard(
+            technique, params, base_seed, 0, runs, timeout, collect
+        )
+        if snapshot is not None:
+            metrics.merge(snapshot)
+        return times
 
     def submit_all(pool):
         times = np.empty(runs)
+        snapshots = []
         futures = [
             pool.submit(
-                _engine_shard, technique, params, base_seed, start, stop, timeout
+                _engine_shard,
+                technique,
+                params,
+                base_seed,
+                start,
+                stop,
+                timeout,
+                collect,
             )
             for start, stop in shard_bounds(runs, jobs)
         ]
         # Completion-order collection: reassembly is by shard offset, so a
         # slow shard delays only itself, never its finished neighbours.
         for future in as_completed(futures):
-            start, shard = future.result()
+            start, shard, snapshot = future.result()
             times[start : start + shard.size] = shard
-        return times
+            if snapshot is not None:
+                snapshots.append(snapshot)
+        return times, snapshots
 
-    return _submit_resilient(jobs, submit_all)
+    times, snapshots = _submit_resilient(jobs, submit_all)
+    for snapshot in snapshots:
+        metrics.merge(snapshot)
+    return times
 
 
 # -- standalone-sampler sweeps -------------------------------------------------

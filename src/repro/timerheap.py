@@ -43,7 +43,7 @@ class TimerHeap:
     mutates the heap list.
     """
 
-    __slots__ = ("heap", "_seq", "_cancelled")
+    __slots__ = ("heap", "_seq", "_cancelled", "compactions", "cancelled_total")
 
     def __init__(self) -> None:
         #: The underlying heap list.  Owners may read it directly for hot
@@ -51,6 +51,13 @@ class TimerHeap:
         self.heap: list[list] = []
         self._seq = 0
         self._cancelled = 0
+        #: Monotonic observability counters: compaction passes performed
+        #: and total cancellations ever recorded.  Unlike ``_cancelled``
+        #: (live pending-cancel count, reset by compaction) these survive
+        #: :meth:`compact` — :meth:`clear` rewinds them with everything
+        #: else so reused kernels replay identically.
+        self.compactions = 0
+        self.cancelled_total = 0
 
     def __len__(self) -> int:
         return len(self.heap)
@@ -75,6 +82,7 @@ class TimerHeap:
     def note_cancelled(self) -> None:
         """Record one external cancellation (entry already nulled out)."""
         self._cancelled += 1
+        self.cancelled_total += 1
         if (
             self._cancelled >= COMPACT_MIN_CANCELLED
             and self._cancelled * 2 >= len(self.heap)
@@ -93,8 +101,14 @@ class TimerHeap:
         self.heap[:] = [e for e in self.heap if e[CALLBACK] is not None]
         heapq.heapify(self.heap)
         self._cancelled = 0
+        self.compactions += 1
 
     # -- queries -----------------------------------------------------------
+
+    @property
+    def scheduled_total(self) -> int:
+        """Total entries ever pushed (the sequence counter)."""
+        return self._seq
 
     def live_count(self) -> int:
         """Number of queued, non-cancelled entries."""
@@ -126,3 +140,5 @@ class TimerHeap:
         self.heap.clear()
         self._seq = 0
         self._cancelled = 0
+        self.compactions = 0
+        self.cancelled_total = 0

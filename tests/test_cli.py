@@ -290,3 +290,110 @@ class TestCliMcTechniqueAliases:
         )
         assert code == 0
         assert "backoff_retry" in capsys.readouterr().out
+
+
+class TestCliObservability:
+    """``run --metrics/--trace`` and ``mc --stats`` exporter plumbing."""
+
+    def test_run_writes_prometheus_and_chrome_trace(
+        self, workflow_file, grid_file, tmp_path, capsys
+    ):
+        prom = tmp_path / "run.prom"
+        trace = tmp_path / "run.json"
+        code = main(
+            [
+                "run",
+                str(workflow_file),
+                "--grid",
+                str(grid_file),
+                "--metrics",
+                str(prom),
+                "--trace",
+                str(trace),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "metrics written" in out and "trace written" in out
+        text = prom.read_text()
+        assert "engine_nodes_launched_total" in text
+        assert 'engine_workflow_runs_total{status="done"} 1.0' in text
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"workflow.run", "node.run", "task.attempt"} <= names
+
+    def test_run_trace_jsonl_streams_records(
+        self, workflow_file, grid_file, tmp_path
+    ):
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            ["run", str(workflow_file), "--grid", str(grid_file),
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines() if line
+        ]
+        kinds = {r["kind"] for r in records}
+        assert {"event", "span", "metrics"} <= kinds
+
+    def test_run_without_flags_writes_nothing(
+        self, workflow_file, grid_file, tmp_path, capsys
+    ):
+        code = main(["run", str(workflow_file), "--grid", str(grid_file)])
+        assert code == 0
+        assert "metrics written" not in capsys.readouterr().out
+        # Only the fixture inputs — no stray metric/trace artefacts.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "grid.json",
+            "wf.xml",
+        ]
+
+    def test_mc_stats_text_report(self, capsys):
+        code = main(
+            [
+                "mc",
+                "--technique",
+                "retrying",
+                "--runs",
+                "5",
+                "--engine",
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run statistics:" in out
+        assert "attempts/run: mean=" in out
+        assert "pool sampler cache:" in out
+        assert "disk sample cache:" in out
+
+    def test_mc_stats_sampler_mode_points_at_engine(self, capsys):
+        code = main(
+            ["mc", "--technique", "retrying", "--runs", "50", "--stats"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "need --engine" in out
+
+    def test_mc_stats_json_embeds_snapshot(self, capsys):
+        code = main(
+            [
+                "mc",
+                "--technique",
+                "checkpointing",
+                "--runs",
+                "4",
+                "--engine",
+                "--stats",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["technique"] == "checkpointing"
+        families = payload["metrics"]
+        assert families["mc_runs_total"]["series"][0]["value"] == 4.0
+        [attempts] = families["mc_attempts"]["series"]
+        assert attempts["count"] == 4
+        assert sum(attempts["counts"]) == attempts["count"]

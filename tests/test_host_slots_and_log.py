@@ -127,6 +127,32 @@ class TestMessageLog:
         assert forwarded == MESSAGES[:3]
         assert list(MessageLog.read(log.path)) == MESSAGES[:3]
 
+    def test_tee_records_before_delivery_so_failing_sink_loses_nothing(
+        self, tmp_path
+    ):
+        # The tee contract: record first, deliver second.  A downstream
+        # sink that blows up mid-stream must still leave a log covering
+        # every message it was offered — including the fatal one — so a
+        # replay can reproduce the crash.
+        log = MessageLog(tmp_path / "msgs.jsonl")
+        seen = []
+
+        def failing_sink(msg):
+            if len(seen) == 2:
+                raise RuntimeError("downstream detector exploded")
+            seen.append(msg)
+
+        sink = log.tee(failing_sink)
+        sink(MESSAGES[0])
+        sink(MESSAGES[1])
+        with pytest.raises(RuntimeError, match="exploded"):
+            sink(MESSAGES[2])
+        # The sink saw two messages, but all three were offered — and all
+        # three are on disk, in offer order.
+        assert seen == MESSAGES[:2]
+        assert list(MessageLog.read(log.path)) == MESSAGES[:3]
+        assert log.recorded == 3
+
     def test_replay_into_fresh_detector_reproduces_verdict(
         self, tmp_path, reactor, kernel
     ):

@@ -1,0 +1,207 @@
+"""Tests for the metrics half of :mod:`repro.obs` — instrument semantics,
+registry keying, disabled no-ops and cross-process snapshot/merge."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    ATTEMPT_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(MetricsError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+    def test_histogram_bucketing(self):
+        h = Histogram((1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        # 1.0 lands in the le=1.0 bucket (upper bounds are inclusive).
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.5)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(MetricsError, match="sorted"):
+            Histogram((10.0, 1.0))
+        with pytest.raises(MetricsError, match="sorted"):
+            Histogram((1.0, 1.0))
+
+    def test_quantile_bucket_resolution(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_overflow_and_empty(self):
+        h = Histogram((1.0,))
+        assert math.isnan(h.quantile(0.5))
+        h.observe(99.0)
+        assert h.quantile(1.0) == math.inf
+        with pytest.raises(MetricsError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_bucket_presets_are_valid(self):
+        # The shipped presets must satisfy the Histogram constructor's
+        # sorted/unique contract.
+        Histogram(DEFAULT_BUCKETS)
+        Histogram(ATTEMPT_BUCKETS)
+
+
+class TestRegistry:
+    def test_same_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total", technique="retrying")
+        b = reg.counter("jobs_total", technique="retrying")
+        assert a is b
+        reg.counter("jobs_total", technique="checkpointing").inc()
+        assert reg.value("jobs_total", technique="retrying") == 0.0
+        assert reg.value("jobs_total", technique="checkpointing") == 1.0
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("c", a="1", b="2").inc()
+        assert reg.counter("c", b="2", a="1").value == 1.0
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        with pytest.raises(MetricsError, match="is a counter"):
+            reg.gauge("c")
+
+    def test_value_absent_series(self):
+        reg = MetricsRegistry()
+        assert reg.value("nope") is None
+        reg.counter("c", x="1")
+        assert reg.value("c", x="2") is None
+        assert reg.get_histogram("nope") is None
+
+    def test_timer_observes_clock_delta(self):
+        reg = MetricsRegistry()
+        ticks = iter([10.0, 17.5])
+        with reg.timer("phase_seconds", lambda: next(ticks)):
+            pass
+        h = reg.get_histogram("phase_seconds")
+        assert h.count == 1
+        assert h.sum == pytest.approx(7.5)
+
+    def test_disabled_registry_is_inert(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc()
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1.0)
+        with reg.timer("t", lambda: 0.0):
+            pass
+        assert reg.snapshot() == {}
+        assert reg.value("c") is None
+
+    def test_clear_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.clear()
+        assert reg.snapshot() == {}
+
+
+class TestSnapshotMerge:
+    def test_roundtrip_counters_gauges_histograms(self):
+        src = MetricsRegistry()
+        src.counter("c", help="count", k="v").inc(3)
+        src.gauge("g").set(4)
+        src.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((a, 2), (b, 5)):
+            reg.counter("c").inc(n)
+            h = reg.histogram("h", buckets=(10.0,))
+            h.observe(float(n))
+            h.observe(100.0)
+        a.merge(b.snapshot())
+        assert a.value("c") == 7.0
+        h = a.get_histogram("h")
+        assert h.counts == [2, 2]
+        assert h.count == 4
+        assert h.sum == pytest.approx(207.0)
+
+    def test_merge_gauge_takes_snapshot_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.merge(b.snapshot())
+        assert a.value("g") == 9.0
+
+    def test_merge_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = a.snapshot()
+        b.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(MetricsError, match="mismatch"):
+            b.merge(snap)
+
+    def test_merge_into_disabled_is_noop(self):
+        src = MetricsRegistry()
+        src.counter("c").inc()
+        dst = MetricsRegistry(enabled=False)
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == {}
+
+    @given(
+        # Integer-valued floats keep summation exact under regrouping, so
+        # the two snapshots can be compared bit for bit.
+        values=st.lists(
+            st.integers(min_value=0, max_value=10**6).map(float),
+            max_size=60,
+        ),
+        split=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=60)
+    def test_split_observe_then_merge_equals_single_registry(
+        self, values, split
+    ):
+        # Observing a stream split across two registries and merging must
+        # equal observing the whole stream in one — the contract the pool
+        # workers' per-shard snapshots rely on.
+        split = min(split, len(values))
+        whole = MetricsRegistry()
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for reg, chunk in (
+            (whole, values),
+            (left, values[:split]),
+            (right, values[split:]),
+        ):
+            for v in chunk:
+                reg.histogram("h", buckets=(1.0, 100.0)).observe(v)
+                reg.counter("n").inc()
+        left.merge(right.snapshot())
+        assert left.snapshot() == whole.snapshot()

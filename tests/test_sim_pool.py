@@ -116,9 +116,14 @@ class TestWorkerSamplerCache:
         clear_sampler_cache()
         base = FAULTY.seed
         # First shard populates the cache, second reuses the sampler.
-        _, first = _engine_shard("checkpointing", FAULTY, base, 0, 4, TIMEOUT)
-        _, again = _engine_shard("checkpointing", FAULTY, base, 0, 4, TIMEOUT)
+        _, first, stats = _engine_shard(
+            "checkpointing", FAULTY, base, 0, 4, TIMEOUT
+        )
+        _, again, _ = _engine_shard(
+            "checkpointing", FAULTY, base, 0, 4, TIMEOUT
+        )
         assert np.array_equal(first, again)
+        assert stats is None  # stats are opt-in (collect_stats=True)
         fresh = EngineSampler("checkpointing", FAULTY, timeout=TIMEOUT)
         want = [fresh.run(seed_for(base, i)) for i in range(4)]
         assert first.tolist() == want

@@ -81,6 +81,101 @@ class TestRecording:
         assert trace.events == []
 
 
+class TestAcrossReset:
+    """One trace observing an engine-reuse loop (reset between runs)."""
+
+    def _engine(self, quiet_grid):
+        quiet_grid.add_host(
+            __import__("repro.grid", fromlist=["RELIABLE"]).RELIABLE("h1")
+        )
+        quiet_grid.install("h1", "t", FixedDurationTask(5.0))
+        wf = (
+            WorkflowBuilder("w")
+            .program("t", hosts=["h1"])
+            .activity("a", implement="t")
+            .build()
+        )
+        return WorkflowEngine(wf, quiet_grid, reactor=quiet_grid.reactor)
+
+    def test_trace_survives_engine_reset(self, quiet_grid):
+        engine = self._engine(quiet_grid)
+        trace = EngineTrace.attach(engine)
+        engine.run()
+        first = trace.count(ENGINE_WORKFLOW_FINISHED)
+        quiet_grid.reset(seed=1)
+        engine.reset()
+        engine.run()
+        assert first == 1
+        assert trace.count(ENGINE_WORKFLOW_FINISHED) == 2
+
+    def test_reattach_after_reset_does_not_double_record(self, quiet_grid):
+        engine = self._engine(quiet_grid)
+        trace = EngineTrace.attach(engine)
+        engine.run()
+        quiet_grid.reset(seed=1)
+        engine.reset()
+        # Re-attaching to the same bus must be a no-op, not a second
+        # subscription recording every event twice.
+        trace.attach_bus(engine.runtime.bus)
+        engine.run()
+        assert trace.count(ENGINE_NODE_LAUNCHED) == 2
+        assert trace.count(ENGINE_WORKFLOW_FINISHED) == 2
+
+    def test_detach_is_idempotent(self, quiet_grid):
+        engine = self._engine(quiet_grid)
+        trace = EngineTrace.attach(engine)
+        trace.detach()
+        trace.detach()
+        engine.run()
+        assert trace.events == []
+        assert not trace.attached
+
+    def test_detach_then_reattach_resumes_recording(self, quiet_grid):
+        engine = self._engine(quiet_grid)
+        trace = EngineTrace.attach(engine)
+        trace.detach()
+        trace.attach_bus(engine.runtime.bus)
+        engine.run()
+        assert trace.count(ENGINE_WORKFLOW_FINISHED) == 1
+
+
+class TestSpans:
+    def test_nested_spans_recorded(self, traced_fig4):
+        spans = traced_fig4.spans
+        workflow = [s for s in spans if s.name == "workflow.run"]
+        nodes = {s.labels["node"]: s for s in spans if s.name == "node.run"}
+        attempts = [s for s in spans if s.name == "task.attempt"]
+        assert len(workflow) == 1 and not workflow[0].open
+        assert set(nodes) == {"FU", "SR", "Join"}
+        assert all(s.parent == workflow[0].id for s in nodes.values())
+        fu_attempts = [s for s in attempts if s.labels["activity"] == "FU"]
+        assert len(fu_attempts) == 2
+        assert all(s.parent == nodes["FU"].id for s in fu_attempts)
+        assert all(s.labels["outcome"] == "failed" for s in fu_attempts)
+
+    def test_metrics_recorded(self, traced_fig4):
+        metrics = traced_fig4.metrics
+        assert (
+            metrics.value("task_attempts_total", activity="FU", outcome="failed")
+            == 2
+        )
+        assert metrics.value("engine_workflow_runs_total", status="done") == 1
+        hist = metrics.get_histogram("task_attempt_sim_seconds", activity="SR")
+        assert hist is not None and hist.count == 1
+
+    def test_recovery_events_recorded(self, traced_fig4):
+        # FU crashes twice; the retry strategy schedules one resubmission
+        # before the slot exhausts.
+        assert traced_fig4.count("recovery.retry") == 1
+        assert traced_fig4.count("recovery.exhausted") == 1
+        resolved = [
+            e for e in traced_fig4.events if e.topic == "recovery.resolved"
+        ]
+        states = {e.detail["activity"]: e.detail["state"] for e in resolved}
+        assert states["FU"] == "failed"
+        assert states["SR"] == "done"
+
+
 class TestCancelledEvents:
     def test_or_join_race_emits_cancelled_event(self, quiet_grid):
         two_reliable_hosts(quiet_grid)
