@@ -1,0 +1,126 @@
+"""EventBus publish micro-benchmark — the multiplexed dispatch hot path.
+
+Not a paper figure: measures raw ``EventBus.publish`` throughput under a
+multiplexed-host-shaped subscription table — hundreds of exact scoped
+topics (``task.done.wf-N``) plus the handful of wildcard observers
+(``task.*``, ``engine.*``, ``recovery.*``) a
+:class:`~repro.obs.observer.RunObserver` installs.  Three shapes:
+
+* **exact hot topic** — repeated publishes on one scoped topic: the
+  steady state, a single route-cache dict lookup per publish;
+* **exact cold topics** — each publish hits a fresh topic, forcing a
+  route build every time (the slow path the cache amortizes);
+* **wildcard-only topic** — a topic matched only by prefix patterns.
+
+The shape check asserts what the route cache promises: publishing P
+times on T distinct topics costs T route builds, not P pattern scans.
+Results land in ``results/BENCH_bus.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import emit_results, once
+
+from repro.events import EventBus
+
+SCOPED_TOPICS = 500
+HOT_PUBLISHES = 50_000
+COLD_TOPICS = 5_000
+
+
+def _sink(_topic, _payload) -> None:
+    pass
+
+
+def build_bus() -> EventBus:
+    bus = EventBus()
+    for pattern in ("task.*", "engine.*", "recovery.*"):
+        bus.subscribe(pattern, _sink)
+        bus.subscribe(pattern, _sink)
+    for i in range(1, SCOPED_TOPICS + 1):
+        for base in ("task.done", "task.failed", "task.exception"):
+            bus.subscribe(f"{base}.wf-{i}", _sink)
+    return bus
+
+
+def _throughput(bus: EventBus, topics: list[str], publishes: int) -> float:
+    n_topics = len(topics)
+    t0 = time.perf_counter()
+    for i in range(publishes):
+        bus.publish(topics[i % n_topics], i)
+    return publishes / (time.perf_counter() - t0)
+
+
+def generate() -> dict:
+    bus = build_bus()
+    hot = _throughput(bus, ["task.done.wf-250"], HOT_PUBLISHES)
+    builds_before_hot_recheck = bus.route_builds
+    _throughput(bus, ["task.done.wf-250"], HOT_PUBLISHES)
+    hot_rebuilds = bus.route_builds - builds_before_hot_recheck
+
+    wildcard = _throughput(bus, ["engine.node_launched"], HOT_PUBLISHES)
+
+    cold_bus = build_bus()
+    builds0 = cold_bus.route_builds
+    cold = _throughput(
+        cold_bus,
+        [f"task.done.wf-{i}" for i in range(1, COLD_TOPICS + 1)],
+        COLD_TOPICS,
+    )
+    cold_builds = cold_bus.route_builds - builds0
+
+    return {
+        "subscription_table": build_bus().stats(),
+        "hot_exact_publishes_per_sec": hot,
+        "hot_exact_rebuilds_after_warm": hot_rebuilds,
+        "wildcard_topic_publishes_per_sec": wildcard,
+        "cold_topic_publishes_per_sec": cold,
+        "cold_route_builds": cold_builds,
+        "cold_topics": COLD_TOPICS,
+        "final_stats": bus.stats(),
+    }
+
+
+def render(payload: dict) -> str:
+    table = payload["subscription_table"]
+    return "\n".join(
+        [
+            f"subscription table: {table['exact_topics']} exact topics, "
+            f"{table['pattern_entries']} wildcard patterns",
+            f"hot exact topic:   "
+            f"{payload['hot_exact_publishes_per_sec']:>12,.0f} publishes/s "
+            f"({payload['hot_exact_rebuilds_after_warm']} route builds once warm)",
+            f"wildcard-only:     "
+            f"{payload['wildcard_topic_publishes_per_sec']:>12,.0f} publishes/s",
+            f"cold topics:       "
+            f"{payload['cold_topic_publishes_per_sec']:>12,.0f} publishes/s "
+            f"({payload['cold_route_builds']} builds for "
+            f"{payload['cold_topics']} distinct topics)",
+        ]
+    )
+
+
+def check_shape(payload: dict) -> None:
+    # Warm publishes never re-run pattern matching.
+    assert payload["hot_exact_rebuilds_after_warm"] == 0
+    # One route build per distinct topic — not per publish.
+    assert payload["cold_route_builds"] == payload["cold_topics"]
+    # The warm path must beat the build-every-time path.
+    assert (
+        payload["hot_exact_publishes_per_sec"]
+        > payload["cold_topic_publishes_per_sec"]
+    )
+
+
+def test_bus_publish(benchmark) -> None:
+    payload = once(benchmark, generate)
+    check_shape(payload)
+    emit_results("bus", render(payload), json_payload=payload)
+
+
+if __name__ == "__main__":
+    payload = generate()
+    check_shape(payload)
+    emit_results("bus", render(payload), json_payload=payload)

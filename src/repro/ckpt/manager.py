@@ -65,6 +65,19 @@ class CheckpointManager:
         """Forget every record — engine reuse across simulation runs."""
         self._records.clear()
 
+    def clear_prefix(self, prefix: str) -> int:
+        """Forget every record whose key starts with *prefix*.
+
+        Multiplexed engines share one manager but key their flags with a
+        per-instance scope; an instance resetting or finishing clears its
+        own records without touching its siblings'.  Returns the number of
+        records removed.
+        """
+        stale = [key for key in self._records if key.startswith(prefix)]
+        for key in stale:
+            del self._records[key]
+        return len(stale)
+
     def snapshot(self) -> dict[str, dict]:
         """Serialisable view, embedded in engine checkpoints."""
         return {

@@ -9,6 +9,8 @@ declarative simulated Grid:
     $ python -m repro.cli validate workflow.xml
     $ python -m repro.cli run workflow.xml --grid grid.json \\
           --checkpoint engine.ckpt.xml
+    $ python -m repro.cli run workflow.xml --grid grid.json --instances 100
+    $ python -m repro.cli serve-batch specs/ --grid grid.json --instances 10
     $ python -m repro.cli resume engine.ckpt.xml --grid grid.json
     $ python -m repro.cli lint workflow.xml
     $ python -m repro.cli mc --technique all --mttf 20 --runs 2000 \\
@@ -145,6 +147,13 @@ def _export_observation(
 def cmd_run(args: argparse.Namespace) -> int:
     workflow = parse_wpdl_file(args.workflow)
     grid = load_gridspec(args.grid)
+    if args.instances > 1:
+        if args.checkpoint:
+            raise GridWFSError(
+                "--checkpoint is per-instance state and is not supported "
+                "with --instances > 1"
+            )
+        return _run_multiplexed(args, grid, [workflow] * args.instances)
     checkpointer = (
         EngineCheckpointer(args.checkpoint) if args.checkpoint else None
     )
@@ -164,6 +173,72 @@ def cmd_run(args: argparse.Namespace) -> int:
     if observer is not None:
         _export_observation(args, observer, grid, engine)
     return 0 if result.succeeded else 1
+
+
+def _run_multiplexed(args: argparse.Namespace, grid, workflows) -> int:
+    """Run many workflow instances concurrently on one shared runtime
+    (``run --instances N`` and ``serve-batch``)."""
+    from .engine.host import EngineHost
+
+    host = EngineHost(
+        grid,
+        reactor=grid.reactor,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    observer = None
+    if args.metrics or args.trace:
+        from .obs import RunObserver
+
+        observer = RunObserver(
+            host.runtime.bus, clock=host.runtime.reactor.now
+        )
+    seen_specs: set[int] = set()
+    for workflow in workflows:
+        first = id(workflow) not in seen_specs
+        seen_specs.add(id(workflow))
+        host.submit(workflow, validate_spec=first)
+    results = host.wait_all(timeout=args.timeout)
+    succeeded = sum(1 for r in results.values() if r.succeeded)
+    for wfid, result in results.items():
+        print(
+            f"{wfid:8s} {result.workflow!r}: {result.status} "
+            f"(completion time: {result.completion_time:.3f} virtual seconds)"
+        )
+    print(f"{succeeded}/{len(results)} instance(s) succeeded")
+    if observer is not None:
+        _export_observation(args, observer, grid, _HostFacade(host))
+    return 0 if succeeded == len(results) else 1
+
+
+class _HostFacade:
+    """Adapts an :class:`EngineHost` to ``_export_observation``'s
+    engine-shaped argument (only ``.runtime`` is consulted)."""
+
+    def __init__(self, host) -> None:
+        self.runtime = host.runtime
+
+
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        raise GridWFSError(f"{directory} is not a directory")
+    spec_paths = sorted(directory.glob(args.pattern))
+    if not spec_paths:
+        raise GridWFSError(
+            f"no specifications matching {args.pattern!r} in {directory}"
+        )
+    workflows = []
+    for path in spec_paths:
+        for _ in range(args.instances):
+            workflows.append(parse_wpdl_file(str(path)))
+    grid = load_gridspec(args.grid)
+    print(
+        f"serving {len(spec_paths)} specification(s) × {args.instances} "
+        f"instance(s) = {len(workflows)} concurrent workflow(s)"
+    )
+    return _run_multiplexed(args, grid, workflows)
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
@@ -447,7 +522,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="engine checkpoint file (written after every task termination)",
     )
+    p_run.add_argument(
+        "--instances",
+        type=int,
+        default=1,
+        help="run N concurrent instances of the workflow on one shared "
+        "runtime (multiplexed engine; incompatible with --checkpoint)",
+    )
     p_run.set_defaults(fn=cmd_run)
+
+    p_batch = sub.add_parser(
+        "serve-batch",
+        help="run every specification in a directory concurrently on one "
+        "shared runtime",
+    )
+    p_batch.add_argument("directory")
+    add_run_options(p_batch)
+    p_batch.add_argument(
+        "--pattern",
+        default="*.xml",
+        help="glob selecting specification files (default: *.xml)",
+    )
+    p_batch.add_argument(
+        "--instances",
+        type=int,
+        default=1,
+        help="instances to run per specification (default: 1)",
+    )
+    p_batch.set_defaults(fn=cmd_serve_batch)
 
     p_resume = sub.add_parser(
         "resume", help="resume a workflow from an engine checkpoint"

@@ -41,6 +41,7 @@ from .messages import (
 __all__ = [
     "FailureDetector",
     "AttemptOutcome",
+    "scoped_topic",
     "TASK_ACTIVE",
     "TASK_DONE",
     "TASK_FAILED",
@@ -60,7 +61,22 @@ _TOPIC_FOR_STATE = {
 }
 
 
-@dataclass
+def scoped_topic(topic: str, workflow_id: str) -> str:
+    """Per-workflow-instance topic: ``task.done`` scoped to instance
+    ``wf-3`` becomes ``task.done.wf-3``.
+
+    Outcomes of attempts tracked with a ``workflow_id`` are published on
+    the scoped topic *only*: each of N multiplexed engines subscribes to
+    its own exact topics (an O(1) dict-lookup dispatch on the bus) instead
+    of every engine filtering every other engine's events.  Wildcard
+    observers (``task.*``) still see all instances, scoped or not.  An
+    empty *workflow_id* is the single-engine path: the plain topic,
+    unchanged from the paper's one-workflow-per-process setup.
+    """
+    return f"{topic}.{workflow_id}" if workflow_id else topic
+
+
+@dataclass(slots=True)
 class AttemptOutcome:
     """Published record of one attempt's state change / terminal outcome."""
 
@@ -78,14 +94,17 @@ class AttemptOutcome:
     #: "host-suspected", "submission-rejected", ...).
     reason: str = ""
     at: float = 0.0
+    #: Owning workflow instance ("" outside a multiplexed host).
+    workflow_id: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class _Attempt:
     job_id: str
     activity: str
     hostname: str
     machine: TaskStateMachine
+    workflow_id: str = ""
     saw_task_end: bool = False
     result: Any = None
     checkpoint_flag: str | None = None
@@ -108,6 +127,7 @@ class FailureDetector:
         bus: EventBus,
         *,
         heartbeat_timeout: float | None = None,
+        batch_heartbeats: bool = False,
     ) -> None:
         self._reactor = reactor
         self._bus = bus
@@ -115,6 +135,14 @@ class FailureDetector:
         #: Heartbeat messages consumed (GRAM liveness traffic volume) —
         #: scraped by :func:`repro.obs.observer.scrape_detector`.
         self.heartbeats_observed = 0
+        #: With ``batch_heartbeats`` on, beats are buffered and flushed to
+        #: the monitor once per reactor turn: hosts beating on a shared
+        #: period all land at the same instant, so a multiplexed run pays
+        #: one liveness pass per tick instead of one per host.  Off by
+        #: default — the single-engine path keeps synchronous observation.
+        self.batch_heartbeats = batch_heartbeats
+        self._pending_beats: list[Heartbeat] = []
+        self._flush_scheduled = False
         self.monitor: HeartbeatMonitor | None = None
         if heartbeat_timeout is not None:
             self.monitor = HeartbeatMonitor(reactor, bus, timeout=heartbeat_timeout)
@@ -135,13 +163,23 @@ class FailureDetector:
         rewinds one detector instead of building one per run."""
         self._attempts.clear()
         self.heartbeats_observed = 0
+        self._pending_beats.clear()
+        self._flush_scheduled = False
         if self.monitor is not None:
             self.monitor.reset()
 
     # -- registration --------------------------------------------------------
 
-    def track(self, job_id: str, activity: str, hostname: str) -> None:
-        """Begin tracking a submitted attempt (state ``INACTIVE``)."""
+    def track(
+        self, job_id: str, activity: str, hostname: str, *, workflow_id: str = ""
+    ) -> None:
+        """Begin tracking a submitted attempt (state ``INACTIVE``).
+
+        *workflow_id* scopes the attempt to one workflow instance of a
+        multiplexed host: its outcomes are published on per-instance topics
+        (:func:`scoped_topic`) and carried on the outcome record, so two
+        instances running the same specification never cross wires.
+        """
         if job_id in self._attempts:
             raise DetectionError(f"job {job_id!r} is already tracked")
         self._attempts[job_id] = _Attempt(
@@ -149,6 +187,7 @@ class FailureDetector:
             activity=activity,
             hostname=hostname,
             machine=TaskStateMachine(activity),
+            workflow_id=workflow_id,
         )
         if self.monitor is not None:
             self.monitor.watch(hostname)
@@ -173,7 +212,13 @@ class FailureDetector:
         if isinstance(msg, Heartbeat):
             self.heartbeats_observed += 1
             if self.monitor is not None:
-                self.monitor.observe(msg)
+                if self.batch_heartbeats:
+                    self._pending_beats.append(msg)
+                    if not self._flush_scheduled:
+                        self._flush_scheduled = True
+                        self._reactor.call_soon(self._flush_beats)
+                else:
+                    self.monitor.observe(msg)
             return
         job_id = getattr(msg, "job_id", "")
         attempt = self._attempts.get(job_id)
@@ -198,6 +243,14 @@ class FailureDetector:
             self._on_done(attempt, msg)
         else:  # pragma: no cover - defensive
             raise DetectionError(f"unhandled message type: {type(msg).__name__}")
+
+    def _flush_beats(self) -> None:
+        """Deliver the turn's buffered heartbeats to the monitor in one
+        batch (see ``batch_heartbeats``)."""
+        self._flush_scheduled = False
+        beats, self._pending_beats = self._pending_beats, []
+        if beats and self.monitor is not None:
+            self.monitor.observe_batch(beats)
 
     # -- determination rules ---------------------------------------------------
 
@@ -243,8 +296,14 @@ class FailureDetector:
             result=attempt.result,
             reason=reason,
             at=self._reactor.now(),
+            workflow_id=attempt.workflow_id,
         )
-        self._bus.publish(_TOPIC_FOR_STATE[attempt.machine.state], outcome)
+        self._bus.publish(
+            scoped_topic(
+                _TOPIC_FOR_STATE[attempt.machine.state], attempt.workflow_id
+            ),
+            outcome,
+        )
 
     # -- queries ------------------------------------------------------------------
 

@@ -122,6 +122,34 @@ class HeartbeatMonitor:
             self.false_suspicions += 1
             self._bus.publish(HOST_RECOVERED, beat.hostname)
 
+    def observe_batch(self, beats: list[Heartbeat]) -> None:
+        """Feed many heartbeats observed in the same reactor turn at once.
+
+        Coalesces to one liveness update per host (only the newest beat per
+        host matters — all beats in the batch share the observation time),
+        so a multiplexed run with H hosts beating on a common period does H
+        record updates per tick regardless of how many beats queued.
+        Recovery publication order follows the batch's first-seen host
+        order, matching what per-beat delivery would have produced.
+        """
+        now = self._reactor.now()
+        latest: dict[str, Heartbeat] = {}
+        for beat in beats:
+            latest[beat.hostname] = beat
+        for hostname, beat in latest.items():
+            record = self._hosts.get(hostname)
+            if record is None:
+                self._hosts[hostname] = HostLiveness(
+                    hostname=hostname, last_beat=now, last_seq=beat.seq
+                )
+                continue
+            record.last_beat = now
+            record.last_seq = beat.seq
+            if record.suspected:
+                record.suspected = False
+                self.false_suspicions += 1
+                self._bus.publish(HOST_RECOVERED, hostname)
+
     def watch(self, hostname: str) -> None:
         """Register *hostname* before its first beat (treats registration
         time as a synthetic beat, so the timeout applies immediately)."""

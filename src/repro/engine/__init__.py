@@ -6,6 +6,7 @@ from .broker import Broker, ResolvedOption
 from .checkpoint import EngineCheckpointer, load_checkpoint
 from .engine import EngineRuntime, WorkflowEngine, WorkflowResult
 from .executors import LocalExecutor
+from .host import EngineHost
 from .instance import (
     EdgeState,
     NodeInstance,
@@ -42,6 +43,7 @@ __all__ = [
     "EngineRuntime",
     "WorkflowEngine",
     "WorkflowResult",
+    "EngineHost",
     "LocalExecutor",
     "EdgeState",
     "NodeInstance",

@@ -51,16 +51,19 @@ class EngineCheckpointer:
         recovery_snapshots: dict[str, dict[str, Any]],
         *,
         saved_at: float = 0.0,
+        workflow_id: str = "",
     ) -> None:
         """Write the checkpoint file atomically."""
         state = instance.snapshot()
         for name, snap in recovery_snapshots.items():
             if name in state["nodes"]:
                 state["nodes"][name]["recovery_state"] = snap
-        root = ET.Element(
-            "EngineCheckpoint",
-            {"workflow": instance.spec.name, "saved_at": repr(saved_at)},
-        )
+        attrs = {"workflow": instance.spec.name, "saved_at": repr(saved_at)}
+        if workflow_id:
+            # Diagnostic provenance for multiplexed runs; readers that
+            # predate multiplexing simply ignore the extra attribute.
+            attrs["workflow_id"] = workflow_id
+        root = ET.Element("EngineCheckpoint", attrs)
         spec_elem = ET.SubElement(root, "Specification")
         spec_elem.append(workflow_to_element(instance.spec))
         state_elem = ET.SubElement(root, "InstanceState")

@@ -40,6 +40,7 @@ from ..detection.detector import (
     TASK_FAILED,
     AttemptOutcome,
     FailureDetector,
+    scoped_topic,
 )
 from ..errors import EngineError, SpecificationError
 from ..events import EventBus
@@ -104,7 +105,13 @@ class WorkflowResult:
 
 @dataclass
 class EngineRuntime:
-    """Shared infrastructure for an engine and its loop children."""
+    """Shared infrastructure for an engine and its loop children.
+
+    A runtime owned by an :class:`~repro.engine.host.EngineHost` is marked
+    ``host_managed``: the host hands out engine/workflow ids from this
+    runtime's counter, so an individual engine's :meth:`WorkflowEngine.reset`
+    must not rewind it (two instances would otherwise mint the same id).
+    """
 
     reactor: Reactor
     bus: EventBus
@@ -112,9 +119,20 @@ class EngineRuntime:
     detector: FailureDetector
     broker: Broker
     checkpoints: CheckpointManager = field(default_factory=CheckpointManager)
+    host_managed: bool = False
     _engine_ids: "itertools.count[int]" = field(
         default_factory=lambda: itertools.count(1)
     )
+
+    def next_engine_id(self) -> int:
+        """Allocate the next engine/workflow-instance id."""
+        return next(self._engine_ids)
+
+    def reset_engine_ids(self) -> None:
+        """Rewind the id counter — refused for host-managed runtimes, whose
+        id space must stay unique across every engine the host ever ran."""
+        if not self.host_managed:
+            self._engine_ids = itertools.count(1)
 
 
 class WorkflowEngine:
@@ -136,10 +154,12 @@ class WorkflowEngine:
         on_finished: Callable[[WorkflowResult], None] | None = None,
         validate_spec: bool = True,
         strategy_resolver: Callable[[FailurePolicy], RecoveryStrategy] | None = None,
+        workflow_id: str = "",
     ) -> None:
         if validate_spec and instance is None:
             validate(workflow)
         self.workflow = workflow
+        self.workflow_id = workflow_id
         if runtime is not None:
             self.runtime = runtime
         else:
@@ -183,9 +203,15 @@ class WorkflowEngine:
             checkpoints=self.runtime.checkpoints,
             strategy_resolver=strategy_resolver,
             bus=self.runtime.bus,
+            workflow_id=workflow_id,
         )
+        # A scoped engine listens on exact per-instance topics (e.g.
+        # ``task.done.wf-3``) so N multiplexed engines never see — or pay
+        # dispatch cost for — each other's task traffic.
         self._subscriptions = [
-            self.runtime.bus.subscribe(topic, self._on_task_event)
+            self.runtime.bus.subscribe(
+                scoped_topic(topic, workflow_id), self._on_task_event
+            )
             for topic in (TASK_DONE, TASK_FAILED, TASK_EXCEPTION)
         ]
 
@@ -273,7 +299,7 @@ class WorkflowEngine:
         self.coordinator.reset()
         runtime.detector.reset()
         runtime.service.connect(runtime.detector.deliver)
-        runtime._engine_ids = itertools.count(1)
+        runtime.reset_engine_ids()
         self.instance = WorkflowInstance(self.workflow)
         self._finished = False
         self._result = None
@@ -284,7 +310,9 @@ class WorkflowEngine:
         for sub in self._subscriptions:
             runtime.bus.unsubscribe(sub)
         self._subscriptions = [
-            runtime.bus.subscribe(topic, self._on_task_event)
+            runtime.bus.subscribe(
+                scoped_topic(topic, self.workflow_id), self._on_task_event
+            )
             for topic in (TASK_DONE, TASK_FAILED, TASK_EXCEPTION)
         ]
 
@@ -345,6 +373,7 @@ class WorkflowEngine:
             ENGINE_NODE_LAUNCHED,
             {
                 "workflow": self.workflow.name,
+                "workflow_id": self.workflow_id,
                 "node": name,
                 "at": node_inst.started_at,
             },
@@ -420,6 +449,7 @@ class WorkflowEngine:
             ENGINE_NODE_CANCELLED,
             {
                 "workflow": self.workflow.name,
+                "workflow_id": self.workflow_id,
                 "node": name,
                 "at": node_inst.finished_at,
             },
@@ -500,6 +530,7 @@ class WorkflowEngine:
             ENGINE_NODE_COMPLETED,
             {
                 "workflow": self.workflow.name,
+                "workflow_id": self.workflow_id,
                 "node": name,
                 "status": status.value,
                 "tries": tries,
@@ -559,6 +590,7 @@ class WorkflowEngine:
             self.instance,
             snapshots,
             saved_at=self.runtime.reactor.now(),
+            workflow_id=self.workflow_id,
         )
 
     # -- termination ------------------------------------------------------------------------------
@@ -591,6 +623,7 @@ class WorkflowEngine:
             ENGINE_WORKFLOW_FINISHED,
             {
                 "workflow": self.workflow.name,
+                "workflow_id": self.workflow_id,
                 "status": self.instance.status.value,
                 "at": self.instance.finished_at,
             },
@@ -641,6 +674,7 @@ class _LoopRunner:
             on_finished=self._body_finished,
             validate_spec=False,
             strategy_resolver=self.parent._strategy_resolver,
+            workflow_id=self.parent.workflow_id,
         )
         self._child.start()
 

@@ -127,6 +127,7 @@ class RecoveryCoordinator:
         checkpoints: CheckpointManager | None = None,
         strategy_resolver: Callable[[FailurePolicy], RecoveryStrategy] | None = None,
         bus: EventBus | None = None,
+        workflow_id: str = "",
     ) -> None:
         self._service = service
         self._detector = detector
@@ -138,6 +139,12 @@ class RecoveryCoordinator:
         self._resolve_strategy = (
             strategy_resolver if strategy_resolver is not None else resolve_strategy
         )
+        #: Owning workflow instance in a multiplexed host ("" otherwise).
+        #: Scopes checkpoint-flag keys, submissions and detector tracking,
+        #: so instances sharing a runtime (and its CheckpointManager /
+        #: FailureDetector) cannot collide on activity names.
+        self.workflow_id = workflow_id
+        self._flag_scope = f"{workflow_id}::" if workflow_id else ""
         self._runs: dict[str, ActivityRun] = {}
         self._job_index: dict[str, tuple[str, int]] = {}  # job_id -> (activity, slot)
 
@@ -278,7 +285,12 @@ class RecoveryCoordinator:
                     slot.timeout_timer = None
         self._runs.clear()
         self._job_index.clear()
-        self.checkpoints.reset()
+        if self._flag_scope:
+            # The CheckpointManager is shared with sibling instances: only
+            # this coordinator's scoped records may be dropped.
+            self.checkpoints.clear_prefix(self._flag_scope)
+        else:
+            self.checkpoints.reset()
 
     # -- cancellation -------------------------------------------------------------------
 
@@ -293,11 +305,13 @@ class RecoveryCoordinator:
     # -- internals ---------------------------------------------------------------------------
 
     def _flag_key(self, run: ActivityRun, slot: _Slot) -> str:
-        return f"{run.activity.name}@slot{slot.index}"
+        return f"{self._flag_scope}{run.activity.name}@slot{slot.index}"
 
     def _publish(self, topic: str, detail: dict[str, Any]) -> None:
         if self._bus is not None:
             detail["at"] = self._reactor.now()
+            if self.workflow_id:
+                detail["workflow_id"] = self.workflow_id
             self._bus.publish(topic, detail)
 
     def _submit(self, run: ActivityRun, slot: _Slot) -> None:
@@ -325,12 +339,18 @@ class RecoveryCoordinator:
             directory=target.directory,
             arguments={p.name: p.value for p in run.activity.inputs},
             checkpoint_flag=flag,
+            workflow_id=self.workflow_id,
         )
         slot.tries_used += 1
         job_id = self._service.submit(request)
         slot.active_job = job_id
         self._job_index[job_id] = (run.activity.name, slot.index)
-        self._detector.track(job_id, run.activity.name, target.hostname)
+        self._detector.track(
+            job_id,
+            run.activity.name,
+            target.hostname,
+            workflow_id=self.workflow_id,
+        )
         timeout = run.activity.policy.attempt_timeout
         if timeout is not None:
             slot.timeout_timer = self._reactor.call_later(

@@ -13,23 +13,43 @@ subscription to ``"task.*"`` receives ``"task.done"`` and ``"task.failed"``.
 ``*`` is the *only* metacharacter: ``?`` and ``[`` are ordinary characters,
 so topic names containing them cannot mis-match (earlier versions used
 :mod:`fnmatch` rules, where ``"data.[raw]"`` silently became a character
-class).  Patterns are compiled to anchored regular expressions once at
-subscription time instead of being re-interpreted on every publish.
+class).
+
+Dispatch is the bus's hot path: a multiplexed engine host pushes every
+task-state change, heartbeat suspicion and engine lifecycle event of N
+concurrent workflows through one bus.  Publishing therefore never scans the
+pattern list per event.  Patterns are classified once at subscription time —
+
+* no ``*``                    → exact-topic dict entry;
+* one trailing ``*``          → pre-split prefix test (``"task.*"`` keeps
+  ``"task."`` and matches with ``str.startswith``);
+* anything else (rare)        → anchored regex, compiled once —
+
+and every published topic's matching handler groups are interned in a
+per-topic **route cache**: the first publish on a topic resolves its route
+(exact dict + matching pattern entries); subsequent publishes are a single
+dict lookup.  Routes hold references to the live handler dicts, so
+subscriber churn on existing patterns never invalidates them; only the
+appearance or pruning of a pattern/topic does.
 """
 
 from __future__ import annotations
 
 import re
-from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 __all__ = ["EventBus", "Subscription", "EventRecord"]
 
 Handler = Callable[[str, Any], None]
 
+#: Route-cache safety valve: a pathological workload publishing unbounded
+#: distinct topics (e.g. ids in topic names without ever re-publishing)
+#: drops the cache rather than growing it forever.
+_MAX_CACHED_ROUTES = 65536
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Subscription:
     """Handle returned by :meth:`EventBus.subscribe`, used to unsubscribe."""
 
@@ -38,7 +58,7 @@ class Subscription:
     token: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventRecord:
     """One published event, as retained by :meth:`EventBus.enable_history`."""
 
@@ -55,65 +75,135 @@ def _compile_pattern(pattern: str) -> re.Pattern[str]:
     )
 
 
-@dataclass
 class _PatternEntry:
-    pattern: str
-    regex: re.Pattern[str]
-    handlers: dict[int, Handler] = field(default_factory=dict)
+    """One wildcard pattern and its live handlers.
+
+    ``prefix`` is the pre-split fast path: for single-trailing-``*``
+    patterns it holds everything before the star, and matching is a
+    ``startswith`` instead of a regex search.  ``regex`` backs the general
+    case (and :meth:`matches` falls through to it only then).
+    """
+
+    __slots__ = ("pattern", "prefix", "regex", "handlers")
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        star = pattern.find("*")
+        if star == len(pattern) - 1:
+            self.prefix: str | None = pattern[:-1]
+            self.regex: re.Pattern[str] | None = None
+        else:
+            self.prefix = None
+            self.regex = _compile_pattern(pattern)
+        self.handlers: dict[int, Handler] = {}
+
+    def matches(self, topic: str) -> bool:
+        if self.prefix is not None:
+            return topic.startswith(self.prefix)
+        return self.regex.match(topic) is not None  # type: ignore[union-attr]
 
 
 class EventBus:
     """Synchronous topic-based pub/sub with wildcard patterns.
 
-    Publishing invokes matching handlers immediately, in subscription order.
-    Handlers may themselves publish; recursive publishes are delivered
-    depth-first.  Handlers may unsubscribe themselves (or others) during
-    delivery: delivery iterates over a snapshot of the handler list.
+    Publishing invokes matching handlers immediately, in subscription order
+    (exact subscriptions before pattern subscriptions, patterns in first-
+    subscription order).  Handlers may themselves publish; recursive
+    publishes are delivered depth-first.  Handlers may unsubscribe
+    themselves (or others) during delivery: delivery iterates over a
+    snapshot of the handler list.
     """
 
     def __init__(self) -> None:
-        self._exact: dict[str, dict[int, Handler]] = defaultdict(dict)
+        self._exact: dict[str, dict[int, Handler]] = {}
         self._patterns: list[_PatternEntry] = []
+        self._pattern_index: dict[str, _PatternEntry] = {}
+        #: topic → handler-dict groups that match it, resolved lazily.
+        self._routes: dict[str, tuple[dict[int, Handler], ...]] = {}
         self._next_token = 0
         self._history: list[EventRecord] | None = None
         self._seq = 0
+        #: Number of route resolutions (full matching passes).  A healthy
+        #: steady state publishes many times per build; tests and the bus
+        #: micro-benchmark assert on it.
+        self.route_builds = 0
 
     # -- subscription ------------------------------------------------------
 
     def subscribe(self, pattern: str, handler: Handler) -> Subscription:
         """Register *handler* for topics matching *pattern*.
 
-        Patterns without a ``*`` are matched exactly (fast path); patterns
-        containing ``*`` match any substring at each wildcard position.
-        The regex is precompiled here, not re-derived per publish.
+        Patterns without a ``*`` are matched exactly; patterns containing
+        ``*`` match any substring at each wildcard position.  Classification
+        (exact / prefix / regex) happens here, never per publish.
         """
         token = self._next_token
         self._next_token += 1
         if "*" in pattern:
-            for entry in self._patterns:
-                if entry.pattern == pattern:
-                    entry.handlers[token] = handler
-                    break
-            else:
-                self._patterns.append(
-                    _PatternEntry(
-                        pattern=pattern,
-                        regex=_compile_pattern(pattern),
-                        handlers={token: handler},
-                    )
-                )
+            entry = self._pattern_index.get(pattern)
+            if entry is None:
+                entry = _PatternEntry(pattern)
+                self._patterns.append(entry)
+                self._pattern_index[pattern] = entry
+                # A new pattern may match already-routed topics.
+                self._routes.clear()
+            entry.handlers[token] = handler
         else:
-            self._exact[pattern][token] = handler
+            handlers = self._exact.get(pattern)
+            if handlers is None:
+                self._exact[pattern] = {token: handler}
+                # Only the identical topic can be affected.
+                self._routes.pop(pattern, None)
+            else:
+                handlers[token] = handler
         return Subscription(pattern=pattern, handler=handler, token=token)
 
     def unsubscribe(self, sub: Subscription) -> None:
-        """Remove a previously registered subscription.  Idempotent."""
-        self._exact.get(sub.pattern, {}).pop(sub.token, None)
-        for entry in self._patterns:
-            if entry.pattern == sub.pattern:
-                entry.handlers.pop(sub.token, None)
+        """Remove a previously registered subscription.  Idempotent.
+
+        Pattern/topic groups whose last handler leaves are pruned, so
+        long-lived buses with subscriber churn (a multiplexed host running
+        thousands of workflow instances) never accumulate dead entries.
+        """
+        if "*" in sub.pattern:
+            entry = self._pattern_index.get(sub.pattern)
+            if entry is None:
+                return
+            entry.handlers.pop(sub.token, None)
+            if not entry.handlers:
+                del self._pattern_index[sub.pattern]
+                self._patterns.remove(entry)
+                # Cached routes reference the dead entry's handler dict; a
+                # later re-subscribe would create a fresh dict the stale
+                # routes don't know about.
+                self._routes.clear()
+        else:
+            handlers = self._exact.get(sub.pattern)
+            if handlers is None:
+                return
+            handlers.pop(sub.token, None)
+            if not handlers:
+                del self._exact[sub.pattern]
+                self._routes.pop(sub.pattern, None)
 
     # -- publication -------------------------------------------------------
+
+    def _build_route(self, topic: str) -> tuple[dict[int, Handler], ...]:
+        """Resolve the handler groups matching *topic* (the slow path, run
+        once per distinct topic per subscription-set change)."""
+        self.route_builds += 1
+        groups: list[dict[int, Handler]] = []
+        exact = self._exact.get(topic)
+        if exact is not None:
+            groups.append(exact)
+        for entry in self._patterns:
+            if entry.matches(topic):
+                groups.append(entry.handlers)
+        if len(self._routes) >= _MAX_CACHED_ROUTES:
+            self._routes.clear()
+        route = tuple(groups)
+        self._routes[topic] = route
+        return route
 
     def publish(self, topic: str, payload: Any = None) -> int:
         """Publish *payload* on *topic*; returns number of handlers invoked."""
@@ -122,23 +212,31 @@ class EventBus:
                 EventRecord(seq=self._seq, topic=topic, payload=payload)
             )
         self._seq += 1
+        route = self._routes.get(topic)
+        if route is None:
+            route = self._build_route(topic)
         delivered = 0
-        exact = self._exact.get(topic)
-        if exact:
-            for handler in list(exact.values()):
-                handler(topic, payload)
-                delivered += 1
-        for entry in self._patterns:
-            # Empty entries (every subscriber unsubscribed) keep their
-            # compiled regex but need no match attempt — publishes on an
-            # unobserved bus stay nearly free.
-            if entry.handlers and entry.regex.match(topic):
-                for handler in list(entry.handlers.values()):
+        for handlers in route:
+            # A group may be empty between its last unsubscribe and the
+            # prune/invalidation (exact dicts are pruned eagerly; pattern
+            # dicts referenced by this route may have just drained).
+            if handlers:
+                for handler in list(handlers.values()):
                     handler(topic, payload)
                     delivered += 1
         return delivered
 
     # -- diagnostics -------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Dispatch-path counters: interned topic routes, route builds
+        (full matching passes), and live subscription-group counts."""
+        return {
+            "cached_routes": len(self._routes),
+            "route_builds": self.route_builds,
+            "exact_topics": len(self._exact),
+            "pattern_entries": len(self._patterns),
+        }
 
     def enable_history(self) -> None:
         """Start retaining every published event (for tests/diagnostics)."""

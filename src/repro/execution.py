@@ -52,6 +52,12 @@ class SubmitRequest:
         and the behaviour the paper's downtime model assumes: after a
         failure the task "is up again" after downtime D).  When False a
         submission to a down host is rejected immediately.
+    workflow_id:
+        Owning workflow instance in a multiplexed run ("" otherwise).
+        Execution services must treat ``(workflow_id, activity)`` — not
+        the bare activity name — as the attempt-sequence identity, so two
+        concurrent instances of the same specification keep independent
+        attempt counters.
     """
 
     activity: str
@@ -62,6 +68,7 @@ class SubmitRequest:
     arguments: dict[str, Any] = field(default_factory=dict)
     checkpoint_flag: str | None = None
     queue_when_down: bool = True
+    workflow_id: str = ""
 
 
 class ExecutionService(ABC):

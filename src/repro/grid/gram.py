@@ -255,7 +255,11 @@ class GramService:
         self.config = config or GramConfig()
         self._jobs: dict[str, JobRecord] = {}
         self._processes: dict[str, JobProcess] = {}
-        self._attempt_counters: dict[str, int] = {}
+        # Keyed by (workflow_id, activity): concurrent workflow instances
+        # running the same specification must not share attempt sequences
+        # (a deterministic crash-on-attempt-1 behaviour would otherwise
+        # crash in one instance and spuriously succeed in its sibling).
+        self._attempt_counters: dict[tuple[str, str], int] = {}
         self._seq = itertools.count(1)
 
     def reset(self) -> None:
@@ -279,8 +283,9 @@ class GramService:
         if host is None:
             raise GridError(f"unknown host: {request.hostname!r}")
         job_id = f"job-{next(self._seq):06d}"
-        attempt = self._attempt_counters.get(request.activity, 0) + 1
-        self._attempt_counters[request.activity] = attempt
+        attempt_key = (request.workflow_id, request.activity)
+        attempt = self._attempt_counters.get(attempt_key, 0) + 1
+        self._attempt_counters[attempt_key] = attempt
         record = JobRecord(job_id=job_id, request=request, attempt=attempt)
         self._jobs[job_id] = record
         try:

@@ -62,6 +62,21 @@ class RecordedEvent:
 
 
 _TERMINAL_TASK_TOPICS = ("task.done", "task.failed", "task.exception")
+_TASK_BASE_TOPICS = ("task.active",) + _TERMINAL_TASK_TOPICS
+
+
+def _base_task_topic(topic: str) -> str:
+    """Strip a per-instance scope suffix: ``task.done.wf-3`` → ``task.done``.
+
+    Multiplexed engines publish attempt outcomes on workflow-scoped topics
+    (:func:`repro.detection.detector.scoped_topic`); the wildcard
+    subscription still delivers them here, but span/metric routing needs
+    the base family.
+    """
+    for base in _TASK_BASE_TOPICS:
+        if topic == base or topic.startswith(base + "."):
+            return base
+    return topic
 
 
 class RunObserver:
@@ -81,9 +96,12 @@ class RunObserver:
         self._events: deque[RecordedEvent] = deque(maxlen=max_events)
         self._bus: EventBus | None = None
         self._subscriptions: list[Subscription] = []
-        # Per-run span bookkeeping (cleared on workflow_finished).
-        self._workflow_span: "Span | None" = None
-        self._node_spans: dict[str, "Span"] = {}
+        # Per-run span bookkeeping, keyed by workflow_id ("" for a classic
+        # single-instance run) so N multiplexed instances never share or
+        # clobber each other's spans; cleared per-instance on
+        # workflow_finished.
+        self._workflow_spans: dict[str, "Span"] = {}
+        self._node_spans: dict[tuple[str, str], "Span"] = {}
         self._attempt_spans: dict[str, "Span"] = {}
         if bus is not None:
             self.attach_bus(bus)
@@ -151,27 +169,33 @@ class RunObserver:
         self._events.append(RecordedEvent(at=at, topic=topic, detail=detail))
         node = detail.get("node")
         workflow = detail.get("workflow", "")
+        wfid = detail.get("workflow_id", "") or ""
+        wl = {"workflow_id": wfid} if wfid else {}
         spans = self.obs.spans
         metrics = self.obs.metrics
         if topic == "engine.node_launched":
-            if self._workflow_span is None:
-                self._workflow_span = spans.begin(
-                    "workflow.run", workflow=workflow
+            workflow_span = self._workflow_spans.get(wfid)
+            if workflow_span is None:
+                workflow_span = spans.begin(
+                    "workflow.run", workflow=workflow, **wl
                 )
+                self._workflow_spans[wfid] = workflow_span
             metrics.counter(
                 "engine_nodes_launched_total",
                 help="nodes entering RUNNING",
                 workflow=workflow,
+                **wl,
             ).inc()
-            self._node_spans[node] = spans.begin(
+            self._node_spans[(wfid, node)] = spans.begin(
                 "node.run",
-                parent=self._workflow_span.id,
+                parent=workflow_span.id,
                 node=node,
                 workflow=workflow,
+                **wl,
             )
         elif topic in ("engine.node_completed", "engine.node_cancelled"):
             status = detail.get("status", "cancelled")
-            span = self._node_spans.pop(node, None)
+            span = self._node_spans.pop((wfid, node), None)
             if span is not None:
                 span.labels["status"] = status
                 spans.end(span)
@@ -179,6 +203,7 @@ class RunObserver:
                 "engine_node_completions_total",
                 help="terminal node resolutions by status",
                 status=status,
+                **wl,
             ).inc()
             tries = detail.get("tries")
             if tries:
@@ -194,14 +219,18 @@ class RunObserver:
                 "engine_workflow_runs_total",
                 help="workflow terminations by status",
                 status=status,
+                **wl,
             ).inc()
-            if self._workflow_span is not None:
-                self._workflow_span.labels["status"] = status
-                spans.end(self._workflow_span)
-            # Engine reuse starts the next run with fresh bookkeeping.
-            self._workflow_span = None
-            self._node_spans.clear()
-            self._attempt_spans.clear()
+            workflow_span = self._workflow_spans.pop(wfid, None)
+            if workflow_span is not None:
+                workflow_span.labels["status"] = status
+                spans.end(workflow_span)
+            # Engine reuse starts this instance's next run with fresh
+            # bookkeeping; sibling instances' spans are untouched.
+            for key in [k for k in self._node_spans if k[0] == wfid]:
+                del self._node_spans[key]
+            if not wfid:
+                self._attempt_spans.clear()
 
     # -- detector attempts ---------------------------------------------------
 
@@ -215,6 +244,8 @@ class RunObserver:
             return
         activity = payload.activity
         exception = payload.exception
+        wfid = getattr(payload, "workflow_id", "") or ""
+        wl = {"workflow_id": wfid} if wfid else {}
         detail = {
             "job": job,
             "activity": activity,
@@ -222,31 +253,36 @@ class RunObserver:
             "reason": payload.reason,
             "exception": exception.name if exception else None,
         }
+        if wfid:
+            detail["workflow_id"] = wfid
         at = payload.at
         self._events.append(RecordedEvent(at=at, topic=topic, detail=detail))
         spans = self.obs.spans
-        if topic == "task.active":
-            node_span = self._node_spans.get(activity)
+        base = _base_task_topic(topic)
+        if base == "task.active":
+            node_span = self._node_spans.get((wfid, activity))
             self._attempt_spans[job] = spans.begin(
                 "task.attempt",
                 parent=node_span.id if node_span is not None else None,
                 activity=activity,
                 job=job,
                 host=payload.hostname,
+                **wl,
             )
-        elif topic in _TERMINAL_TASK_TOPICS:
-            outcome = topic.rsplit(".", 1)[1]
+        elif base in _TERMINAL_TASK_TOPICS:
+            outcome = base.rsplit(".", 1)[1]
             span = self._attempt_spans.pop(job, None)
             if span is None:
                 # Terminal before TaskStart (e.g. instant crash): record a
                 # zero-duration attempt so the trace still shows it.
-                node_span = self._node_spans.get(activity)
+                node_span = self._node_spans.get((wfid, activity))
                 span = spans.begin(
                     "task.attempt",
                     parent=node_span.id if node_span is not None else None,
                     activity=activity,
                     job=job,
                     host=payload.hostname,
+                    **wl,
                 )
             span.labels["outcome"] = outcome
             if payload.reason:
@@ -258,6 +294,7 @@ class RunObserver:
                 help="terminal detector outcomes per attempt",
                 activity=activity,
                 outcome=outcome,
+                **wl,
             ).inc()
             metrics.histogram(
                 "task_attempt_sim_seconds",
@@ -274,6 +311,8 @@ class RunObserver:
         at = float(detail.pop("at", 0.0) or 0.0)
         self._events.append(RecordedEvent(at=at, topic=topic, detail=detail))
         activity = detail.get("activity", "")
+        wfid = detail.get("workflow_id", "") or ""
+        wl = {"workflow_id": wfid} if wfid else {}
         metrics = self.obs.metrics
         if topic == "recovery.retry":
             delay = float(detail.get("delay", 0.0) or 0.0)
@@ -281,6 +320,7 @@ class RunObserver:
                 "recovery_retries_total",
                 help="resubmissions scheduled after detected crashes",
                 activity=activity,
+                **wl,
             ).inc()
             metrics.histogram(
                 "recovery_retry_delay_seconds",
@@ -288,7 +328,7 @@ class RunObserver:
                 activity=activity,
             ).observe(delay)
             if delay > 0:
-                node_span = self._node_spans.get(activity)
+                node_span = self._node_spans.get((wfid, activity))
                 self.obs.spans.interval(
                     "recovery.backoff",
                     at,

@@ -30,6 +30,40 @@ def run_workflow(workflow, grid: SimulatedGrid, *, timeout: float = 1e7):
     return engine.run(timeout=timeout)
 
 
+def run_multiplexed(workflows, grid: SimulatedGrid, *, timeout: float = 1e7):
+    """Run *workflows* as concurrent instances on one shared runtime.
+
+    Returns their WorkflowResults in submission order (one per entry;
+    repeated spec objects become independent instances).
+    """
+    from repro.engine import EngineHost
+
+    host = EngineHost(grid, reactor=grid.reactor)
+    ids = [host.submit(wf) for wf in workflows]
+    results = host.wait_all(timeout=timeout)
+    return [results[wfid] for wfid in ids]
+
+
+def run_isolated(workflows, grid_factory, *, timeout: float = 1e7):
+    """Run each workflow alone on a fresh grid from *grid_factory* — the
+    sequential reference the multiplexed execution is compared against."""
+    return [run_workflow(wf, grid_factory(), timeout=timeout) for wf in workflows]
+
+
+def result_identity(result):
+    """The comparable content of a WorkflowResult (multiplexed instances
+    must be bit-identical to isolated runs on these fields)."""
+    return (
+        result.workflow,
+        result.status,
+        result.variables,
+        result.completion_time,
+        result.node_statuses,
+        result.failed_tasks,
+        result.tries,
+    )
+
+
 def fig4_workflow(*, fu_policy: FailurePolicy = FailurePolicy.retrying(2)):
     """The alternative-task DAG of the paper's Figure 4."""
     return (

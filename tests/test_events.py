@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.events import EventBus
+from repro.events import EventBus, _PatternEntry
 
 
 class TestSubscribe:
@@ -136,6 +136,107 @@ class TestUnsubscribe:
         bus.unsubscribe(s1)
         bus.publish("p.q", None)
         assert seen == ["two"]
+
+
+class TestRouteCache:
+    """Dispatch is route-cached: pattern matching runs once per distinct
+    topic per subscription-set change, never per publish."""
+
+    def test_repeat_publish_builds_route_once(self):
+        bus = EventBus()
+        bus.subscribe("task.*", lambda t, p: None)
+        for _ in range(50):
+            bus.publish("task.done", None)
+        assert bus.stats()["route_builds"] == 1
+        assert bus.stats()["cached_routes"] == 1
+
+    def test_warm_publish_never_scans_patterns(self, monkeypatch):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("task.*", lambda t, p: seen.append(p))
+        bus.publish("task.done", 0)  # builds (and warms) the route
+        calls = {"matches": 0}
+        real_matches = _PatternEntry.matches
+
+        def counting_matches(self, topic):
+            calls["matches"] += 1
+            return real_matches(self, topic)
+
+        monkeypatch.setattr(_PatternEntry, "matches", counting_matches)
+        for i in range(100):
+            bus.publish("task.done", i)
+        assert calls["matches"] == 0
+        assert len(seen) == 101
+
+    def test_new_pattern_invalidates_cached_routes(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("task.done", lambda t, p: seen.append("exact"))
+        bus.publish("task.done", None)
+        bus.subscribe("task.*", lambda t, p: seen.append("pattern"))
+        bus.publish("task.done", None)
+        assert seen == ["exact", "exact", "pattern"]
+
+    def test_subscriber_churn_on_existing_pattern_keeps_route(self):
+        bus = EventBus()
+        bus.subscribe("task.*", lambda t, p: None)
+        bus.publish("task.done", None)
+        builds = bus.stats()["route_builds"]
+        # More handlers on the same pattern reuse the live handler dict.
+        sub = bus.subscribe("task.*", lambda t, p: None)
+        bus.publish("task.done", None)
+        bus.unsubscribe(sub)
+        bus.publish("task.done", None)
+        assert bus.stats()["route_builds"] == builds
+
+    def test_single_trailing_star_uses_prefix_not_regex(self):
+        entry = _PatternEntry("task.*")
+        assert entry.prefix == "task." and entry.regex is None
+        generic = _PatternEntry("a.*.b")
+        assert generic.prefix is None and generic.regex is not None
+
+
+class TestPruning:
+    """Empty handler groups are pruned on last unsubscribe, so long-lived
+    buses with subscriber churn never accumulate dead entries."""
+
+    def test_last_pattern_unsubscribe_prunes_entry(self):
+        bus = EventBus()
+        sub = bus.subscribe("a.*", lambda t, p: None)
+        assert bus.stats()["pattern_entries"] == 1
+        bus.unsubscribe(sub)
+        assert bus.stats()["pattern_entries"] == 0
+
+    def test_last_exact_unsubscribe_prunes_topic(self):
+        bus = EventBus()
+        sub = bus.subscribe("a.b", lambda t, p: None)
+        assert bus.stats()["exact_topics"] == 1
+        bus.unsubscribe(sub)
+        assert bus.stats()["exact_topics"] == 0
+
+    def test_resubscribe_after_prune_is_delivered(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe("a.*", lambda t, p: seen.append("old"))
+        bus.publish("a.b", None)  # route now references the old dict
+        bus.unsubscribe(sub)
+        bus.subscribe("a.*", lambda t, p: seen.append("new"))
+        bus.publish("a.b", None)
+        assert seen == ["old", "new"]
+
+    def test_engine_churn_does_not_grow_subscription_table(self):
+        bus = EventBus()
+        for i in range(200):
+            subs = [
+                bus.subscribe(f"task.done.wf-{i}", lambda t, p: None),
+                bus.subscribe(f"task.failed.wf-{i}", lambda t, p: None),
+            ]
+            bus.publish(f"task.done.wf-{i}", None)
+            for sub in subs:
+                bus.unsubscribe(sub)
+        stats = bus.stats()
+        assert stats["exact_topics"] == 0
+        assert stats["pattern_entries"] == 0
 
 
 class TestRecursivePublish:

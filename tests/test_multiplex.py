@@ -1,0 +1,418 @@
+"""Multiplexed engine hosting: N concurrent instances, one shared runtime.
+
+Covers :class:`repro.engine.host.EngineHost` and the per-instance event
+scoping it relies on: workflow-scoped task topics, ``(workflow_id,
+activity)`` attempt counters, scoped checkpoint-flag keys, host-managed
+engine-id allocation, batched heartbeat delivery, and the determinism
+contract — multiplexed results bit-identical to isolated sequential runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import (
+    fig4_workflow,
+    result_identity,
+    run_isolated,
+    run_multiplexed,
+    single_task_workflow,
+)
+from repro.core import FailurePolicy
+from repro.detection.detector import scoped_topic
+from repro.engine import EngineHost, WorkflowEngine
+from repro.errors import EngineError
+from repro.grid import (
+    RELIABLE,
+    CrashingTask,
+    FixedDurationTask,
+    GridConfig,
+    SimulatedGrid,
+    inject_crash,
+)
+from repro.obs import RunObserver
+from repro.wpdl import WorkflowBuilder
+
+
+def quiet_grid(seed=42):
+    return SimulatedGrid(seed=seed, config=GridConfig(heartbeats=False))
+
+
+def fixed_grid(seed=42, *, duration=5.0):
+    """One reliable unlimited-slot host running a fixed-duration task."""
+    grid = quiet_grid(seed)
+    grid.add_host(RELIABLE("h1", slots=None))
+    grid.install("h1", "task", FixedDurationTask(duration, result="ok"))
+    return grid
+
+
+def crashing_grid(seed=42):
+    """Task crashes deterministically on its first attempt, then succeeds."""
+    grid = quiet_grid(seed)
+    grid.add_host(RELIABLE("h1", slots=None))
+    grid.install(
+        "h1",
+        "task",
+        CrashingTask(duration=3.0, crash_at=1.0, crashes=1, result="ok"),
+    )
+    return grid
+
+
+class TestEngineHostBasics:
+    def test_submit_and_wait_all(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        ids = [host.submit(single_task_workflow()) for _ in range(3)]
+        assert ids == ["wf-1", "wf-2", "wf-3"]
+        results = host.wait_all(timeout=1e7)
+        assert list(results) == ids
+        assert all(r.succeeded for r in results.values())
+
+    def test_results_in_submission_order(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        host.submit(single_task_workflow("a"))
+        host.submit(single_task_workflow("b"))
+        results = host.wait_all(timeout=1e7)
+        assert [r.workflow for r in results.values()] == ["a", "b"]
+
+    def test_submit_many_single_spec(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        ids = host.submit_many(single_task_workflow(), 5)
+        assert len(ids) == 5
+        assert len(host.wait_all(timeout=1e7)) == 5
+
+    def test_duplicate_workflow_id_rejected(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        host.submit(single_task_workflow(), workflow_id="mine")
+        with pytest.raises(EngineError, match="already submitted"):
+            host.submit(single_task_workflow(), workflow_id="mine")
+
+    def test_empty_workflow_id_rejected(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        with pytest.raises(EngineError, match="non-empty"):
+            host.submit(single_task_workflow(), workflow_id="")
+
+    def test_unknown_engine_lookup_raises(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        with pytest.raises(EngineError, match="unknown workflow_id"):
+            host.engine("wf-99")
+
+    def test_pending_then_drained(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        wfid = host.submit(single_task_workflow())
+        assert host.pending == [wfid]
+        host.wait_all(timeout=1e7)
+        assert host.pending == []
+
+    def test_no_cross_instance_serialization(self):
+        # Unlimited slots: 50 concurrent instances each finish at exactly
+        # the task duration, as if each ran alone.
+        grid = fixed_grid(duration=7.0)
+        host = EngineHost(grid, reactor=grid.reactor)
+        host.submit_many(single_task_workflow(), 50)
+        results = host.wait_all(timeout=1e7)
+        assert {r.completion_time for r in results.values()} == {7.0}
+
+
+class TestAttemptScoping:
+    def test_each_instance_pays_its_own_crash(self):
+        # Broken scoping would let one instance's crash consume the
+        # (shared-keyed) attempt counter and the sibling would spuriously
+        # succeed first try.
+        grid = crashing_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        host.submit_many(
+            single_task_workflow(policy=FailurePolicy.retrying(3)), 2
+        )
+        results = host.wait_all(timeout=1e7)
+        assert [r.tries["task"] for r in results.values()] == [2, 2]
+
+    def test_scoped_checkpoint_flags_do_not_collide(self):
+        grid = crashing_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        host.submit_many(
+            single_task_workflow(policy=FailurePolicy.retrying(3)), 2
+        )
+        host.wait_all(timeout=1e7)
+        # Both coordinators shared one CheckpointManager without clobbering
+        # each other; all per-instance scopes drained at completion.
+        assert host.runtime.checkpoints.snapshot() == {}
+
+
+class TestEventScoping:
+    def test_no_cross_instance_event_leakage(self):
+        """100 concurrent instances: every task event must carry the
+        workflow_id of the topic it was published on, and every engine
+        event must be labelled with its instance."""
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        bus = host.runtime.bus
+        bus.enable_history()
+        host.submit_many(single_task_workflow(), 100)
+        results = host.wait_all(timeout=1e7)
+        assert len(results) == 100
+        task_records = [
+            r for r in bus.history if r.topic.startswith("task.")
+        ]
+        assert task_records, "expected task traffic on the bus"
+        for record in task_records:
+            wfid = record.payload.workflow_id
+            assert wfid, "multiplexed outcomes must be workflow-scoped"
+            assert record.topic.endswith("." + wfid), (
+                f"outcome for {wfid} leaked onto topic {record.topic}"
+            )
+        engine_records = [
+            r for r in bus.history if r.topic.startswith("engine.")
+        ]
+        seen_ids = {r.payload["workflow_id"] for r in engine_records}
+        assert seen_ids == set(results)
+
+    def test_engine_subscribes_to_exact_scoped_topics(self):
+        # Exact-topic subscriptions are the O(1)-dispatch contract: no
+        # multiplexed engine ever pattern-matches sibling traffic.
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        engine = host.engine(host.submit(single_task_workflow()))
+        wfid = engine.workflow_id
+        assert {sub.pattern for sub in engine._subscriptions} == {
+            scoped_topic(base, wfid)
+            for base in ("task.done", "task.failed", "task.exception")
+        }
+        assert all("*" not in sub.pattern for sub in engine._subscriptions)
+        host.wait_all(timeout=1e7)
+
+    def test_unscoped_single_engine_unchanged(self):
+        # The classic path publishes on bare topics with empty workflow_id.
+        grid = fixed_grid()
+        engine = WorkflowEngine(
+            single_task_workflow(), grid, reactor=grid.reactor
+        )
+        engine.runtime.bus.enable_history()
+        result = engine.run(timeout=1e7)
+        assert result.succeeded
+        done = [
+            r
+            for r in engine.runtime.bus.history
+            if r.topic == "task.done"
+        ]
+        assert len(done) == 1
+        assert done[0].payload.workflow_id == ""
+
+
+class TestDeterminism:
+    def test_multiplexed_equals_isolated_sequential(self):
+        specs = [
+            single_task_workflow(policy=FailurePolicy.retrying(3))
+            for _ in range(10)
+        ]
+        mux = run_multiplexed(specs, crashing_grid())
+        seq = run_isolated(specs, crashing_grid)
+        assert [result_identity(m) for m in mux] == [
+            result_identity(s) for s in seq
+        ]
+
+    def test_mixed_specs_multiplexed_equals_isolated(self):
+        def make_grid(seed=42):
+            grid = quiet_grid(seed)
+            grid.add_host(RELIABLE("u1", slots=None))
+            grid.add_host(RELIABLE("r1", slots=None))
+            grid.install("u1", "fast", FixedDurationTask(5.0, result="f"))
+            grid.install("r1", "slow", FixedDurationTask(50.0, result="s"))
+            grid.add_host(RELIABLE("h1", slots=None))
+            grid.install("h1", "task", FixedDurationTask(2.0, result="ok"))
+            return grid
+
+        specs = [fig4_workflow(), single_task_workflow(), fig4_workflow()]
+        mux = run_multiplexed(specs, make_grid())
+        seq = run_isolated(specs, make_grid)
+        assert [result_identity(m) for m in mux] == [
+            result_identity(s) for s in seq
+        ]
+
+
+# Deterministic per-activity durations drawn by hypothesis; the grid
+# installs one executable per (spec, activity) so instances of different
+# specs never share attempt identities by accident.
+@st.composite
+def chain_specs(draw):
+    n_specs = draw(st.integers(min_value=2, max_value=8))
+    specs = []
+    for s in range(n_specs):
+        n_tasks = draw(st.integers(min_value=1, max_value=3))
+        durations = [
+            draw(st.integers(min_value=1, max_value=20)) for _ in range(n_tasks)
+        ]
+        crash_first = draw(st.booleans())
+        specs.append((s, durations, crash_first))
+    return specs
+
+
+class TestInterleavingProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(chain_specs())
+    def test_interleaved_equals_isolated(self, specs):
+        """2–8 random chain workflows: concurrent interleaved execution is
+        indistinguishable (statuses, tries, completion times, variables)
+        from each running alone."""
+
+        def build_spec(index, durations, crash_first):
+            builder = WorkflowBuilder(f"chain-{index}")
+            prev = None
+            for i in range(len(durations)):
+                exe = f"exe-{index}-{i}"
+                builder.program(exe, hosts=["h1"])
+                builder.activity(
+                    f"t{i}",
+                    implement=exe,
+                    policy=FailurePolicy.retrying(3),
+                )
+                if prev is not None:
+                    builder.transition(prev, f"t{i}")
+                prev = f"t{i}"
+            return builder.build()
+
+        def build_grid(seed=42):
+            grid = quiet_grid(seed)
+            grid.add_host(RELIABLE("h1", slots=None))
+            for index, durations, crash_first in specs:
+                for i, duration in enumerate(durations):
+                    if crash_first and i == 0:
+                        behavior = CrashingTask(
+                            duration=float(duration),
+                            crash_at=float(duration) / 2,
+                            crashes=1,
+                            result=i,
+                        )
+                    else:
+                        behavior = FixedDurationTask(float(duration), result=i)
+                    grid.install("h1", f"exe-{index}-{i}", behavior)
+            return grid
+
+        workflows = [build_spec(*spec) for spec in specs]
+        mux = run_multiplexed(workflows, build_grid())
+        seq = run_isolated(workflows, build_grid)
+        assert [result_identity(m) for m in mux] == [
+            result_identity(s) for s in seq
+        ]
+
+
+class TestObserverDimension:
+    def test_per_instance_spans_and_labels(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        observer = RunObserver(host.runtime.bus, clock=grid.reactor.now)
+        host.submit_many(single_task_workflow(), 3)
+        host.wait_all(timeout=1e7)
+        wf_spans = [s for s in observer.spans if s.name == "workflow.run"]
+        assert {s.labels["workflow_id"] for s in wf_spans} == {
+            "wf-1",
+            "wf-2",
+            "wf-3",
+        }
+        node_spans = [s for s in observer.spans if s.name == "node.run"]
+        assert len(node_spans) == 3
+        parents = {s.parent for s in node_spans}
+        assert parents == {s.id for s in wf_spans}
+
+    def test_workflow_id_metric_label(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        observer = RunObserver(host.runtime.bus, clock=grid.reactor.now)
+        host.submit_many(single_task_workflow(), 2)
+        host.wait_all(timeout=1e7)
+        for wfid in ("wf-1", "wf-2"):
+            counter = observer.metrics.counter(
+                "engine_workflow_runs_total",
+                status="done",
+                workflow_id=wfid,
+            )
+            assert counter.value == 1
+
+    def test_unscoped_run_has_no_workflow_id_label(self):
+        grid = fixed_grid()
+        engine = WorkflowEngine(
+            single_task_workflow(), grid, reactor=grid.reactor
+        )
+        observer = RunObserver.attach(engine)
+        engine.run(timeout=1e7)
+        spans = [s for s in observer.spans if s.name == "workflow.run"]
+        assert len(spans) == 1
+        assert "workflow_id" not in spans[0].labels
+
+
+class TestEngineIdAllocation:
+    def test_host_managed_reset_preserves_id_space(self):
+        grid = fixed_grid()
+        host = EngineHost(grid, reactor=grid.reactor)
+        first = host.submit(single_task_workflow())
+        host.wait_all(timeout=1e7)
+        # An engine reset inside a host-managed runtime must not rewind
+        # the shared counter — the next instance still gets a fresh id.
+        host.engine(first).reset()
+        grid.reset(seed=42)
+        second = host.submit(single_task_workflow())
+        assert second != first
+        assert second == "wf-2"
+
+    def test_standalone_reset_rewinds_ids(self):
+        grid = fixed_grid()
+        engine = WorkflowEngine(
+            single_task_workflow(), grid, reactor=grid.reactor
+        )
+        engine.run(timeout=1e7)
+        before = engine.runtime.next_engine_id()
+        grid.reset(seed=42)
+        engine.reset()
+        assert engine.runtime.next_engine_id() == 1
+        assert before >= 1
+
+
+class TestBatchedHeartbeats:
+    def _run(self, *, batch: bool):
+        grid = SimulatedGrid(
+            seed=3,
+            config=GridConfig(crash_detection="heartbeat", heartbeats=True),
+        )
+        grid.add_host(RELIABLE("flaky", heartbeat_period=1.0))
+        grid.add_host(RELIABLE("backup", heartbeat_period=1.0))
+        grid.install("flaky", "work", FixedDurationTask(50.0))
+        grid.install("backup", "work", FixedDurationTask(50.0))
+        inject_crash(grid.kernel, grid.host("flaky"), at=10.0, duration=1000.0)
+        from repro.core.policy import ResourceSelection
+
+        wf = (
+            WorkflowBuilder("hb")
+            .program("work", hosts=["flaky", "backup"])
+            .activity(
+                "work",
+                implement="work",
+                policy=FailurePolicy.retrying(
+                    None, resource_selection=ResourceSelection.ROTATE
+                ),
+            )
+            .build()
+        )
+        host = EngineHost(
+            grid,
+            reactor=grid.reactor,
+            heartbeat_timeout=5.0,
+            batch_heartbeats=batch,
+        )
+        host.submit(wf)
+        results = host.wait_all(timeout=1e6)
+        return list(results.values())[0]
+
+    def test_batched_equals_unbatched(self):
+        batched = self._run(batch=True)
+        unbatched = self._run(batch=False)
+        assert result_identity(batched) == result_identity(unbatched)
+        assert batched.succeeded
+        assert batched.tries["work"] == 2
