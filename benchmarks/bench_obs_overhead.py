@@ -1,0 +1,142 @@
+"""Observability overhead: causal tracing and the flight recorder.
+
+Extends the <2% observability gate from ``bench_engine_mc`` (which covers
+a disabled :class:`~repro.obs.metrics.MetricsRegistry`) to the live
+telemetry plane: the same 300-sample engine-level point runs
+
+* ``plain``     — no instrumentation (the baseline);
+* ``trace``     — causal trace context on (:class:`~repro.obs.tracectx.Tracer`
+  minting a context per attempt and per recovery decision, stamped into
+  every bus payload);
+* ``recorder``  — a :class:`~repro.obs.recorder.FlightRecorder` tapping the
+  bus, journaling every publish into its bounded ring (no spill);
+* ``both``      — trace context and recorder together (the configuration a
+  live ``--serve-telemetry --flight-record`` run actually uses).
+
+Every mode must stay under :data:`OVERHEAD_CEILING` relative to plain, and
+all modes must produce bit-identical completion-time vectors — tracing and
+recording observe the simulation, they must never perturb it.
+
+Methodology: one :class:`~repro.sim.engine_mc.EngineSampler` instance is
+*toggled* between modes (``set_trace_context`` / recorder attach-detach)
+so every mode shares the same object layout — separately constructed
+samplers differ by several percent from allocation luck alone, which would
+drown a 2% gate.  Passes are interleaved and each repeat computes the
+mode/plain ratio within itself, so clock-frequency drift across a long
+run cancels; the reported overhead is the median ratio across repeats.
+``REPRO_BENCH_OBS_RUNS`` / ``REPRO_BENCH_OBS_REPEATS`` scale the work for
+CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import statistics
+import time
+
+from _common import emit_results, once
+
+from repro.obs import FlightRecorder
+from repro.sim import PAPER_BASELINE, EngineSampler
+
+TECHNIQUE = "checkpointing"
+MTTF = 20.0
+RUNS = int(os.environ.get("REPRO_BENCH_OBS_RUNS", "300"))
+REPEATS = int(os.environ.get("REPRO_BENCH_OBS_REPEATS", "11"))
+
+#: Per-mode ceiling on the median overhead ratio versus the plain pass.
+OVERHEAD_CEILING = 0.02
+
+MODES = ("plain", "trace", "recorder", "both")
+
+
+def _configure(sampler: EngineSampler, recorder: FlightRecorder, mode: str) -> None:
+    sampler.set_trace_context(mode in ("trace", "both"))
+    if mode in ("recorder", "both"):
+        recorder.attach_bus(sampler.engine.runtime.bus)
+    else:
+        recorder.detach()
+
+
+def _pass_seconds(sampler: EngineSampler, params, runs: int) -> float:
+    start = time.perf_counter()
+    for i in range(runs):
+        sampler.run(params.seed + 7919 * i)
+    return time.perf_counter() - start
+
+
+def generate():
+    params = PAPER_BASELINE.with_mttf(MTTF)
+    sampler = EngineSampler(TECHNIQUE, params)
+    sampler.run(params.seed)  # build the engine, pay import/bytecode costs
+    # Ring capacity below the event volume of one pass: steady-state
+    # memory stays bounded, so GC pressure cannot masquerade as overhead.
+    recorder = FlightRecorder(sampler.engine.runtime.bus, capacity=4096)
+    recorder.detach()
+
+    # Correctness first: every mode must yield the same sample vector.
+    vectors = {}
+    for mode in MODES:
+        _configure(sampler, recorder, mode)
+        vectors[mode] = [sampler.run(params.seed + 7919 * i) for i in range(25)]
+    bit_identical = all(vectors[m] == vectors["plain"] for m in MODES)
+
+    ratios: dict[str, list[float]] = {mode: [] for mode in MODES}
+    for _ in range(REPEATS):
+        elapsed = {}
+        for mode in MODES:
+            _configure(sampler, recorder, mode)
+            gc.collect()
+            elapsed[mode] = _pass_seconds(sampler, params, RUNS)
+        for mode in MODES:
+            ratios[mode].append(elapsed[mode] / elapsed["plain"])
+    _configure(sampler, recorder, "plain")
+
+    overheads = {
+        f"{mode}_overhead": statistics.median(ratios[mode]) - 1.0
+        for mode in MODES
+        if mode != "plain"
+    }
+    return {
+        **overheads,
+        "technique": TECHNIQUE,
+        "mttf": MTTF,
+        "runs": RUNS,
+        "repeats": REPEATS,
+        "bit_identical": bit_identical,
+        "recorder_stats": recorder.stats(),
+        "ratio_spread": {
+            mode: [round(r - 1.0, 4) for r in ratios[mode]]
+            for mode in MODES
+            if mode != "plain"
+        },
+    }
+
+
+def test_obs_overhead(benchmark):
+    payload = once(benchmark, generate)
+    lines = [
+        f"observability overhead, {TECHNIQUE} @ MTTF={MTTF:g}, "
+        f"{payload['runs']} runs x {payload['repeats']} repeats "
+        f"(median of within-repeat ratios):",
+        f"  trace context          {payload['trace_overhead']:+.2%}",
+        f"  flight recorder (ring) {payload['recorder_overhead']:+.2%}",
+        f"  trace + recorder       {payload['both_overhead']:+.2%}",
+        f"  bit-identical outputs: {payload['bit_identical']}",
+        f"  events journaled:      {payload['recorder_stats']['recorded']}",
+    ]
+    emit_results(
+        "obs_overhead",
+        "\n".join(lines),
+        json_payload=payload,
+        json_name="BENCH_obs_overhead",
+    )
+
+    # Observation must never perturb the simulation.
+    assert payload["bit_identical"], payload
+    # The telemetry plane's price of admission: tracing, recording, and
+    # the two together each stay under the observability ceiling.
+    assert payload["trace_overhead"] < OVERHEAD_CEILING, payload
+    assert payload["recorder_overhead"] < OVERHEAD_CEILING, payload
+    assert payload["both_overhead"] < OVERHEAD_CEILING, payload

@@ -28,6 +28,11 @@ class CheckpointRecord:
     progress: float = 0.0
     #: Time the flag was recorded (reactor seconds), for diagnostics.
     recorded_at: float = 0.0
+    #: Causal span id of the attempt that produced this flag (see
+    #: :mod:`repro.obs.tracectx`); "" when tracing is off.  A restart
+    #: submission republishes it, so a post-mortem timeline can tie the
+    #: restarted attempt to the attempt whose checkpoint it resumed from.
+    source_span: str = ""
 
 
 class CheckpointManager:
@@ -37,11 +42,21 @@ class CheckpointManager:
         self._records: dict[str, CheckpointRecord] = {}
 
     def record(
-        self, activity: str, flag: str, *, progress: float = 0.0, at: float = 0.0
+        self,
+        activity: str,
+        flag: str,
+        *,
+        progress: float = 0.0,
+        at: float = 0.0,
+        source_span: str = "",
     ) -> None:
         """Store the newest flag for *activity* (marks it checkpoint-enabled)."""
         self._records[activity] = CheckpointRecord(
-            activity=activity, flag=flag, progress=progress, recorded_at=at
+            activity=activity,
+            flag=flag,
+            progress=progress,
+            recorded_at=at,
+            source_span=source_span,
         )
 
     def is_checkpoint_enabled(self, activity: str) -> bool:
@@ -55,6 +70,11 @@ class CheckpointManager:
     def progress_of(self, activity: str) -> float:
         record = self._records.get(activity)
         return record.progress if record else 0.0
+
+    def source_span_of(self, activity: str) -> str:
+        """Causal span id of the attempt that saved the current flag."""
+        record = self._records.get(activity)
+        return record.source_span if record else ""
 
     def clear(self, activity: str) -> None:
         """Forget the activity's flag (after success, or to force a cold

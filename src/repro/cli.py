@@ -30,13 +30,30 @@ the content-addressed sample cache (:mod:`repro.sim.cache`): repeated
 estimates with unchanged inputs load from disk instead of re-sampling,
 and ``cache info`` / ``cache clear`` manage the store.
 
-Observability (:mod:`repro.obs`): ``run``/``resume`` accept ``--metrics
-out.prom`` (Prometheus text exposition of the run's counters and
-histograms) and ``--trace out.json`` (Chrome ``trace_event`` JSON —
-loadable in chrome://tracing or Perfetto; a ``.jsonl`` suffix writes the
-raw JSON-lines event/span/metrics stream instead).  ``mc --stats`` prints
-per-technique attempt histograms and pool/disk cache hit rates next to
-the completion-time estimates.
+Observability (:mod:`repro.obs`): ``run``/``serve-batch``/``resume``
+accept ``--metrics out.prom`` (Prometheus text exposition of the run's
+counters and histograms) and ``--trace out.json`` (Chrome ``trace_event``
+JSON — loadable in chrome://tracing or Perfetto; a ``.jsonl`` suffix
+writes the raw JSON-lines event/span/metrics stream instead).  ``mc
+--stats`` prints per-technique attempt histograms and pool/disk cache hit
+rates next to the completion-time estimates.
+
+The live telemetry plane rides on the same flags: ``--serve-telemetry
+PORT`` stands up an HTTP server exposing ``/metrics`` (scrape-able
+mid-run), ``/healthz``, ``/workflows`` and ``/workflows/<id>``; ``--pace
+FACTOR`` slows the simulation to FACTOR wall seconds per virtual second
+so there is something live to scrape; ``--flight-record journal.jsonl``
+journals every bus event, and ``inspect journal.jsonl`` reconstructs the
+causally-linked post-mortem timeline (attempt ledger, detector verdicts,
+recovery decisions, checkpoint restarts) from it:
+
+.. code-block:: console
+
+    $ python -m repro.cli serve-batch specs/ --grid grid.json \\
+          --instances 10 --serve-telemetry 9100 --pace 0.01 \\
+          --flight-record journal.jsonl
+    $ curl -s localhost:9100/workflows/wf-3
+    $ python -m repro.cli inspect journal.jsonl --workflow wf-3
 
 Exit status: 0 on success, 1 on workflow failure, 2 on usage/spec errors.
 """
@@ -99,33 +116,136 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wants_observer(args: argparse.Namespace) -> bool:
+    """``--metrics``/``--trace`` need the recording; ``--serve-telemetry``
+    needs the live registry behind ``/metrics``."""
+    return bool(args.metrics or args.trace) or args.serve_telemetry is not None
+
+
+def _instrumented(args: argparse.Namespace) -> bool:
+    """Any telemetry consumer present?  Gates tracer construction — an
+    uninstrumented run carries ``tracer=None`` and stamps nothing."""
+    return _wants_observer(args) or bool(args.flight_record)
+
+
+def _make_tracer(args: argparse.Namespace):
+    if not _instrumented(args):
+        return None
+    from .obs import Tracer
+
+    return Tracer()
+
+
 def _attach_observer(args: argparse.Namespace, engine: WorkflowEngine):
-    """One :class:`repro.obs.RunObserver` when ``--metrics``/``--trace``
-    asks for it; ``None`` keeps the run entirely uninstrumented."""
-    if not (args.metrics or args.trace):
+    """One :class:`repro.obs.RunObserver` when ``--metrics``/``--trace``/
+    ``--serve-telemetry`` asks for it; ``None`` keeps the run entirely
+    uninstrumented."""
+    if not _wants_observer(args):
         return None
     from .obs import RunObserver
 
     return RunObserver.attach(engine)
 
 
+def _start_telemetry(args: argparse.Namespace, bus, registry):
+    """Stand up the live telemetry plane: the flight recorder journaling
+    *bus*, and the HTTP scrape/status server.  Returns ``(server,
+    recorder)``, either of which may be ``None``."""
+    recorder = server = None
+    if args.flight_record:
+        from .obs import FlightRecorder
+
+        recorder = FlightRecorder(bus, spill_path=args.flight_record)
+    if args.serve_telemetry is not None:
+        from .obs import TelemetryServer, WorkflowStatusTracker
+
+        server = TelemetryServer(
+            registry=registry,
+            tracker=WorkflowStatusTracker(bus),
+            port=args.serve_telemetry,
+        )
+        server.start()
+        print(
+            f"telemetry: serving {server.url}/metrics, /healthz, "
+            f"/workflows, /workflows/<id>"
+        )
+    return server, recorder
+
+
+def _stop_telemetry(args: argparse.Namespace, server, recorder) -> None:
+    if recorder is not None:
+        recorder.close()
+        stats = recorder.stats()
+        print(
+            f"flight recording written to {args.flight_record} "
+            f"({stats['spilled']} events; inspect with: repro.cli inspect "
+            f"{args.flight_record})"
+        )
+    if server is not None:
+        if args.telemetry_linger > 0:
+            import time
+
+            print(
+                f"telemetry: lingering {args.telemetry_linger:g}s at "
+                f"{server.url} before shutdown"
+            )
+            time.sleep(args.telemetry_linger)
+        server.stop()
+
+
+#: Longest wall sleep one virtual gap may cost under ``--pace`` (long
+#: idle stretches of virtual time should not stall a live demo).
+_PACE_MAX_SLEEP = 0.25
+
+
+def _drive_paced(reactor, is_done, pace: float, timeout: float | None) -> bool:
+    """Advance the simulation at *pace* wall seconds per virtual second.
+
+    The default reactor loop finishes a whole run in milliseconds of wall
+    time — nothing for a live scraper to watch.  Pacing steps the kernel
+    one event at a time and sleeps the scaled virtual gap in between, so
+    ``/metrics`` and ``/workflows`` can be curled mid-run.
+    """
+    import time
+
+    kernel = getattr(reactor, "kernel", None)
+    if kernel is None:
+        raise GridWFSError("--pace needs a simulated grid (a sim kernel)")
+    deadline = None if timeout is None else kernel.now() + timeout
+    last = kernel.now()
+    while not is_done():
+        if deadline is not None and kernel.now() >= deadline:
+            return False
+        if not kernel.step():
+            return is_done()
+        now = kernel.now()
+        if now > last:
+            time.sleep(min((now - last) * pace, _PACE_MAX_SLEEP))
+            last = now
+    return True
+
+
 def _export_observation(
     args: argparse.Namespace, observer, grid, engine: WorkflowEngine
 ) -> None:
     from .obs import (
+        atomic_write_text,
         prometheus_text,
+        scrape_bus,
         scrape_detector,
         scrape_grid,
         write_chrome_trace,
         write_jsonl,
     )
 
+    # scrape_grid covers the kernel block (events processed, timer-heap
+    # compactions) via scrape_kernel; the bus scrape adds route-cache
+    # hit rates.  All are end-of-run pulls of plain-int counters.
     scrape_grid(observer.metrics, grid)
+    scrape_bus(observer.metrics, engine.runtime.bus)
     scrape_detector(observer.metrics, engine.runtime.detector)
     if args.metrics:
-        from pathlib import Path
-
-        Path(args.metrics).write_text(prometheus_text(observer.metrics))
+        atomic_write_text(args.metrics, prometheus_text(observer.metrics))
         print(f"metrics written to {args.metrics}")
     if args.trace:
         if str(args.trace).endswith(".jsonl"):
@@ -163,15 +283,45 @@ def cmd_run(args: argparse.Namespace) -> int:
         reactor=grid.reactor,
         checkpointer=checkpointer,
         heartbeat_timeout=args.heartbeat_timeout,
+        tracer=_make_tracer(args),
     )
+    return _run_single(args, grid, engine)
+
+
+def _run_single(args: argparse.Namespace, grid, engine: WorkflowEngine) -> int:
+    """Shared ``run``/``resume`` body: telemetry rig, (paced) drive,
+    report, export, teardown."""
     observer = _attach_observer(args, engine)
-    result = engine.run(timeout=args.timeout)
-    if args.report:
-        print(run_report(engine.instance))
-    else:
-        _print_result(result)
-    if observer is not None:
-        _export_observation(args, observer, grid, engine)
+    server, recorder = _start_telemetry(
+        args,
+        engine.runtime.bus,
+        observer.metrics if observer is not None else None,
+    )
+    try:
+        if args.pace > 0:
+            engine.start()
+            done = _drive_paced(
+                engine.runtime.reactor,
+                lambda: engine.finished,
+                args.pace,
+                args.timeout,
+            )
+            result = engine.result
+            if not done or result is None:
+                raise GridWFSError(
+                    f"workflow {engine.workflow.name!r} did not terminate "
+                    f"(timeout={args.timeout})"
+                )
+        else:
+            result = engine.run(timeout=args.timeout)
+        if args.report:
+            print(run_report(engine.instance))
+        else:
+            _print_result(result)
+        if observer is not None:
+            _export_observation(args, observer, grid, engine)
+    finally:
+        _stop_telemetry(args, server, recorder)
     return 0 if result.succeeded else 1
 
 
@@ -184,29 +334,52 @@ def _run_multiplexed(args: argparse.Namespace, grid, workflows) -> int:
         grid,
         reactor=grid.reactor,
         heartbeat_timeout=args.heartbeat_timeout,
+        tracer=_make_tracer(args),
     )
     observer = None
-    if args.metrics or args.trace:
+    if _wants_observer(args):
         from .obs import RunObserver
 
         observer = RunObserver(
             host.runtime.bus, clock=host.runtime.reactor.now
         )
-    seen_specs: set[int] = set()
-    for workflow in workflows:
-        first = id(workflow) not in seen_specs
-        seen_specs.add(id(workflow))
-        host.submit(workflow, validate_spec=first)
-    results = host.wait_all(timeout=args.timeout)
-    succeeded = sum(1 for r in results.values() if r.succeeded)
-    for wfid, result in results.items():
-        print(
-            f"{wfid:8s} {result.workflow!r}: {result.status} "
-            f"(completion time: {result.completion_time:.3f} virtual seconds)"
-        )
-    print(f"{succeeded}/{len(results)} instance(s) succeeded")
-    if observer is not None:
-        _export_observation(args, observer, grid, _HostFacade(host))
+    server, recorder = _start_telemetry(
+        args,
+        host.runtime.bus,
+        observer.metrics if observer is not None else None,
+    )
+    try:
+        seen_specs: set[int] = set()
+        for workflow in workflows:
+            first = id(workflow) not in seen_specs
+            seen_specs.add(id(workflow))
+            host.submit(workflow, validate_spec=first)
+        if args.pace > 0:
+            done = _drive_paced(
+                host.runtime.reactor,
+                lambda: not host.pending,
+                args.pace,
+                args.timeout,
+            )
+            if not done:
+                raise GridWFSError(
+                    f"{len(host.pending)} instance(s) did not terminate "
+                    f"(timeout={args.timeout}, pending: {host.pending[:10]})"
+                )
+            results = host.results()
+        else:
+            results = host.wait_all(timeout=args.timeout)
+        succeeded = sum(1 for r in results.values() if r.succeeded)
+        for wfid, result in results.items():
+            print(
+                f"{wfid:8s} {result.workflow!r}: {result.status} "
+                f"(completion time: {result.completion_time:.3f} virtual seconds)"
+            )
+        print(f"{succeeded}/{len(results)} instance(s) succeeded")
+        if observer is not None:
+            _export_observation(args, observer, grid, _HostFacade(host))
+    finally:
+        _stop_telemetry(args, server, recorder)
     return 0 if succeeded == len(results) else 1
 
 
@@ -248,16 +421,53 @@ def cmd_resume(args: argparse.Namespace) -> int:
         grid,
         reactor=grid.reactor,
         heartbeat_timeout=args.heartbeat_timeout,
+        tracer=_make_tracer(args),
     )
-    observer = _attach_observer(args, engine)
-    result = engine.run(timeout=args.timeout)
-    if args.report:
-        print(run_report(engine.instance))
-    else:
-        _print_result(result)
-    if observer is not None:
-        _export_observation(args, observer, grid, engine)
-    return 0 if result.succeeded else 1
+    return _run_single(args, grid, engine)
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Post-mortem of a flight recording: the causally-linked per-workflow
+    attempt ledger, recovery decisions, and checkpoint restarts."""
+    from .obs import build_timelines, load_recording, render_report
+
+    try:
+        entries = load_recording(args.recording)
+    except (OSError, ValueError) as exc:
+        raise GridWFSError(f"cannot read recording: {exc}") from exc
+    timelines = build_timelines(entries)
+    if args.workflow is not None and args.workflow not in timelines:
+        known = ", ".join(sorted(timelines)) or "(none)"
+        print(
+            f"error: no workflow {args.workflow!r} in {args.recording}; "
+            f"found: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        import json
+        from dataclasses import asdict
+
+        selected = (
+            {args.workflow: timelines[args.workflow]}
+            if args.workflow is not None
+            else timelines
+        )
+        print(
+            json.dumps(
+                {wfid: asdict(tl) for wfid, tl in sorted(selected.items())},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if not timelines:
+        print(f"no workflow events in {args.recording} ({len(entries)} entries)")
+        return 0
+    print(f"recording: {args.recording} ({len(entries)} journal entries)")
+    print()
+    print(render_report(timelines, workflow_id=args.workflow))
+    return 0
 
 
 #: Spelling variants accepted by ``mc --technique`` (combined techniques
@@ -513,6 +723,39 @@ def build_parser() -> argparse.ArgumentParser:
             "(open in chrome://tracing or Perfetto), or raw JSON-lines "
             "when PATH ends in .jsonl",
         )
+        p.add_argument(
+            "--serve-telemetry",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help="serve live telemetry over HTTP on PORT (0 = ephemeral): "
+            "GET /metrics (Prometheus text), /healthz, /workflows, "
+            "/workflows/<id>",
+        )
+        p.add_argument(
+            "--telemetry-linger",
+            type=float,
+            default=0.0,
+            metavar="SECS",
+            help="keep the telemetry server up SECS wall seconds after the "
+            "run completes (default: 0)",
+        )
+        p.add_argument(
+            "--pace",
+            type=float,
+            default=0.0,
+            metavar="FACTOR",
+            help="slow the simulation to FACTOR wall seconds per virtual "
+            "second so live telemetry can be scraped mid-run "
+            "(default: 0 = as fast as possible)",
+        )
+        p.add_argument(
+            "--flight-record",
+            default=None,
+            metavar="PATH",
+            help="journal every bus event to PATH as JSON lines (the "
+            "flight recorder); read it back with 'inspect'",
+        )
 
     p_run = sub.add_parser("run", help="execute a workflow on a simulated grid")
     p_run.add_argument("workflow")
@@ -557,6 +800,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument("checkpoint")
     add_run_options(p_resume)
     p_resume.set_defaults(fn=cmd_resume)
+
+    p_inspect = sub.add_parser(
+        "inspect",
+        help="reconstruct a post-mortem timeline from a flight recording",
+    )
+    p_inspect.add_argument(
+        "recording", help="journal written by --flight-record"
+    )
+    p_inspect.add_argument(
+        "--workflow",
+        default=None,
+        metavar="ID",
+        help="show one workflow instance only (e.g. wf-3)",
+    )
+    p_inspect.add_argument(
+        "--json", action="store_true", help="machine-readable timelines"
+    )
+    p_inspect.set_defaults(fn=cmd_inspect)
 
     p_mc = sub.add_parser(
         "mc", help="Monte-Carlo expected-completion-time estimation"

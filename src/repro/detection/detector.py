@@ -96,6 +96,13 @@ class AttemptOutcome:
     at: float = 0.0
     #: Owning workflow instance ("" outside a multiplexed host).
     workflow_id: str = ""
+    #: Causal trace context stamped at :meth:`FailureDetector.track` time
+    #: (empty strings when tracing is off).  ``span_id`` names this
+    #: attempt; ``parent_id`` names the recovery decision (or node launch)
+    #: that spawned it — see :mod:`repro.obs.tracectx`.
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
 
 
 @dataclass(slots=True)
@@ -105,6 +112,9 @@ class _Attempt:
     hostname: str
     machine: TaskStateMachine
     workflow_id: str = ""
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
     saw_task_end: bool = False
     result: Any = None
     checkpoint_flag: str | None = None
@@ -171,7 +181,13 @@ class FailureDetector:
     # -- registration --------------------------------------------------------
 
     def track(
-        self, job_id: str, activity: str, hostname: str, *, workflow_id: str = ""
+        self,
+        job_id: str,
+        activity: str,
+        hostname: str,
+        *,
+        workflow_id: str = "",
+        trace: Any = None,
     ) -> None:
         """Begin tracking a submitted attempt (state ``INACTIVE``).
 
@@ -179,6 +195,12 @@ class FailureDetector:
         multiplexed host: its outcomes are published on per-instance topics
         (:func:`scoped_topic`) and carried on the outcome record, so two
         instances running the same specification never cross wires.
+
+        *trace* is the attempt's causal context
+        (:class:`repro.obs.tracectx.TraceContext`-shaped, duck-typed to
+        avoid an obs import); its ids travel on every published
+        :class:`AttemptOutcome` so consumers can link the attempt back to
+        the recovery decision that spawned it.
         """
         if job_id in self._attempts:
             raise DetectionError(f"job {job_id!r} is already tracked")
@@ -188,6 +210,9 @@ class FailureDetector:
             hostname=hostname,
             machine=TaskStateMachine(activity),
             workflow_id=workflow_id,
+            trace_id=getattr(trace, "trace_id", "") or "",
+            span_id=getattr(trace, "span_id", "") or "",
+            parent_id=getattr(trace, "parent_id", "") or "",
         )
         if self.monitor is not None:
             self.monitor.watch(hostname)
@@ -297,6 +322,9 @@ class FailureDetector:
             reason=reason,
             at=self._reactor.now(),
             workflow_id=attempt.workflow_id,
+            trace_id=attempt.trace_id,
+            span_id=attempt.span_id,
+            parent_id=attempt.parent_id,
         )
         self._bus.publish(
             scoped_topic(

@@ -45,6 +45,7 @@ from ..detection.detector import (
 from ..errors import EngineError, SpecificationError
 from ..events import EventBus
 from ..execution import ExecutionService
+from ..obs.tracectx import TraceContext, Tracer, stamp
 from ..reactor import Reactor
 from ..wpdl.conditions import evaluate_condition
 from ..wpdl.model import Activity, Loop, SubWorkflow, Workflow
@@ -119,6 +120,11 @@ class EngineRuntime:
     detector: FailureDetector
     broker: Broker
     checkpoints: CheckpointManager = field(default_factory=CheckpointManager)
+    #: Opt-in causal tracing: when set, every engine sharing this runtime
+    #: stamps trace/span ids onto its bus payloads (see
+    #: :mod:`repro.obs.tracectx`).  ``None`` keeps the publish paths free
+    #: of all tracing work beyond one ``is None`` check.
+    tracer: Tracer | None = None
     host_managed: bool = False
     _engine_ids: "itertools.count[int]" = field(
         default_factory=lambda: itertools.count(1)
@@ -155,6 +161,7 @@ class WorkflowEngine:
         validate_spec: bool = True,
         strategy_resolver: Callable[[FailurePolicy], RecoveryStrategy] | None = None,
         workflow_id: str = "",
+        tracer: Tracer | None = None,
     ) -> None:
         if validate_spec and instance is None:
             validate(workflow)
@@ -176,6 +183,7 @@ class WorkflowEngine:
                 service=service,
                 detector=detector,
                 broker=broker if broker is not None else Broker(),
+                tracer=tracer,
             )
         self.instance = instance if instance is not None else WorkflowInstance(workflow)
         self.checkpointer = checkpointer
@@ -194,6 +202,15 @@ class WorkflowEngine:
             if inst.status is NodeStatus.RUNNING
         )
         self._strategy_resolver = strategy_resolver
+        # Causal trace bookkeeping: one root per workflow run, one child
+        # context per launched node (handed to the coordinator so attempts
+        # chain off it).  All None/empty when the runtime has no tracer.
+        self._trace_root: TraceContext | None = None
+        self._node_ctx: dict[str, TraceContext] = {}
+        if self.runtime.tracer is not None:
+            self._trace_root = self.runtime.tracer.root(
+                workflow_id or workflow.name
+            )
         self.coordinator = RecoveryCoordinator(
             self.runtime.service,
             self.runtime.detector,
@@ -204,6 +221,7 @@ class WorkflowEngine:
             strategy_resolver=strategy_resolver,
             bus=self.runtime.bus,
             workflow_id=workflow_id,
+            tracer=self.runtime.tracer,
         )
         # A scoped engine listens on exact per-instance topics (e.g.
         # ``task.done.wf-3``) so N multiplexed engines never see — or pay
@@ -275,6 +293,25 @@ class WorkflowEngine:
             )
         return self._result
 
+    def set_tracer(self, tracer: Tracer | None) -> None:
+        """Turn causal tracing on or off for subsequent runs (live toggle).
+
+        Swaps the allocator on the shared runtime and the coordinator and
+        re-mints (or clears) the workflow root.  Call between runs — nodes
+        already launched keep the contexts they were stamped with.  The
+        observability-overhead benchmark uses this to compare traced and
+        untraced passes of one engine instance, which is what isolates the
+        tracing cost from object-layout luck.
+        """
+        self.runtime.tracer = tracer
+        self.coordinator.set_tracer(tracer)
+        self._node_ctx = {}
+        self._trace_root = (
+            None
+            if tracer is None
+            else tracer.root(self.workflow_id or self.workflow.name)
+        )
+
     def reset(self) -> None:
         """Rewind to a fresh, not-yet-started instance of the same workflow
         (mirroring :meth:`repro.grid.simgrid.SimulatedGrid.reset`).
@@ -306,6 +343,11 @@ class WorkflowEngine:
         self._loop_runners = {}
         self._unresolved = len(self.instance.nodes)
         self._running_count = 0
+        self._node_ctx = {}
+        if runtime.tracer is not None:
+            self._trace_root = runtime.tracer.root(
+                self.workflow_id or self.workflow.name
+            )
         # _finish unsubscribed us; fresh construction subscribes — match it.
         for sub in self._subscriptions:
             runtime.bus.unsubscribe(sub)
@@ -369,14 +411,21 @@ class WorkflowEngine:
         node_inst.status = NodeStatus.RUNNING
         self._running_count += 1
         node_inst.started_at = self.runtime.reactor.now()
+        node_ctx: TraceContext | None = None
+        if self.runtime.tracer is not None and self._trace_root is not None:
+            node_ctx = self.runtime.tracer.child(self._trace_root)
+            self._node_ctx[name] = node_ctx
         self.runtime.bus.publish(
             ENGINE_NODE_LAUNCHED,
-            {
-                "workflow": self.workflow.name,
-                "workflow_id": self.workflow_id,
-                "node": name,
-                "at": node_inst.started_at,
-            },
+            stamp(
+                {
+                    "workflow": self.workflow.name,
+                    "workflow_id": self.workflow_id,
+                    "node": name,
+                    "at": node_inst.started_at,
+                },
+                node_ctx,
+            ),
         )
         spec_node = self.workflow.node(name)
         if isinstance(spec_node, SubWorkflow):
@@ -408,6 +457,7 @@ class WorkflowEngine:
             self._bind_inputs(spec_node),
             program,
             restored_state=restored,
+            trace=self._node_ctx.get(name),
         )
 
     def _bind_inputs(self, activity: Activity) -> Activity:
@@ -447,12 +497,15 @@ class WorkflowEngine:
         node_inst.finished_at = self.runtime.reactor.now()
         self.runtime.bus.publish(
             ENGINE_NODE_CANCELLED,
-            {
-                "workflow": self.workflow.name,
-                "workflow_id": self.workflow_id,
-                "node": name,
-                "at": node_inst.finished_at,
-            },
+            stamp(
+                {
+                    "workflow": self.workflow.name,
+                    "workflow_id": self.workflow_id,
+                    "node": name,
+                    "at": node_inst.finished_at,
+                },
+                self._node_ctx.pop(name, None),
+            ),
         )
 
     # -- task resolution -------------------------------------------------------------------
@@ -528,15 +581,18 @@ class WorkflowEngine:
             self._record_outputs(name, result)
         self.runtime.bus.publish(
             ENGINE_NODE_COMPLETED,
-            {
-                "workflow": self.workflow.name,
-                "workflow_id": self.workflow_id,
-                "node": name,
-                "status": status.value,
-                "tries": tries,
-                "exception": exception.name if exception else None,
-                "at": node_inst.finished_at,
-            },
+            stamp(
+                {
+                    "workflow": self.workflow.name,
+                    "workflow_id": self.workflow_id,
+                    "node": name,
+                    "status": status.value,
+                    "tries": tries,
+                    "exception": exception.name if exception else None,
+                    "at": node_inst.finished_at,
+                },
+                self._node_ctx.pop(name, None),
+            ),
         )
         fire_outgoing_edges(self.instance, name, status, exception)
         self._checkpoint()
@@ -621,12 +677,15 @@ class WorkflowEngine:
         )
         self.runtime.bus.publish(
             ENGINE_WORKFLOW_FINISHED,
-            {
-                "workflow": self.workflow.name,
-                "workflow_id": self.workflow_id,
-                "status": self.instance.status.value,
-                "at": self.instance.finished_at,
-            },
+            stamp(
+                {
+                    "workflow": self.workflow.name,
+                    "workflow_id": self.workflow_id,
+                    "status": self.instance.status.value,
+                    "at": self.instance.finished_at,
+                },
+                self._trace_root,
+            ),
         )
         if self._on_finished is not None:
             self._on_finished(self._result)

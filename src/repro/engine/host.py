@@ -37,6 +37,7 @@ from ..detection.detector import FailureDetector
 from ..errors import EngineError
 from ..events import EventBus
 from ..execution import ExecutionService
+from ..obs.tracectx import Tracer
 from ..reactor import Reactor
 from ..wpdl.model import Workflow
 from .broker import Broker
@@ -68,6 +69,7 @@ class EngineHost:
         strategy_resolver: Callable[[FailurePolicy], RecoveryStrategy]
         | None = None,
         batch_heartbeats: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         bus = bus if bus is not None else EventBus()
         if detector is None:
@@ -84,6 +86,7 @@ class EngineHost:
             service=service,
             detector=detector,
             broker=broker if broker is not None else Broker(),
+            tracer=tracer,
             host_managed=True,
         )
         self._strategy_resolver = strategy_resolver

@@ -39,6 +39,7 @@ from ..detection.detector import AttemptOutcome, FailureDetector
 from ..errors import RecoveryError
 from ..events import EventBus
 from ..execution import ExecutionService, SubmitRequest
+from ..obs.tracectx import TraceContext, Tracer, stamp
 from ..reactor import Reactor, TimerHandle
 from ..wpdl.model import Activity, Program
 from .broker import Broker, ResolvedOption
@@ -89,6 +90,11 @@ class _Slot:
     retry_timer: TimerHandle | None = None
     #: Performance-failure watchdog for the in-flight attempt.
     timeout_timer: TimerHandle | None = None
+    #: Causal context of the in-flight (or last) attempt on this slot.
+    attempt_trace: TraceContext | None = None
+    #: Context of the recovery decision that will parent the next attempt
+    #: (``None`` → the activity root parents it).
+    next_parent: TraceContext | None = None
 
 
 @dataclass
@@ -100,6 +106,9 @@ class ActivityRun:
     strategy: RecoveryStrategy
     slots: list[_Slot] = field(default_factory=list)
     resolved: bool = False
+    #: Causal root of this activity's attempt tree (the engine passes its
+    #: node-launch context; ``None`` when tracing is off).
+    trace: TraceContext | None = None
 
     @property
     def total_tries(self) -> int:
@@ -128,6 +137,7 @@ class RecoveryCoordinator:
         strategy_resolver: Callable[[FailurePolicy], RecoveryStrategy] | None = None,
         bus: EventBus | None = None,
         workflow_id: str = "",
+        tracer: Tracer | None = None,
     ) -> None:
         self._service = service
         self._detector = detector
@@ -145,6 +155,10 @@ class RecoveryCoordinator:
         #: FailureDetector) cannot collide on activity names.
         self.workflow_id = workflow_id
         self._flag_scope = f"{workflow_id}::" if workflow_id else ""
+        #: Causal-context allocator (``None`` keeps every trace site to a
+        #: single ``is None`` check — the uninstrumented hot path).  Swap
+        #: live via :meth:`set_tracer`.
+        self._tracer = tracer
         self._runs: dict[str, ActivityRun] = {}
         self._job_index: dict[str, tuple[str, int]] = {}  # job_id -> (activity, slot)
 
@@ -156,17 +170,25 @@ class RecoveryCoordinator:
         program: Program,
         *,
         restored_state: dict[str, Any] | None = None,
+        trace: TraceContext | None = None,
     ) -> None:
         """Begin (or, after an engine restart, resume) an activity.
 
         ``restored_state`` is the recovery snapshot saved in the engine
         checkpoint; preserved try counts keep retry budgets honest across
-        engine restarts.
+        engine restarts.  *trace* is the causal root for the activity's
+        attempt tree (the engine passes its node-launch context); when
+        tracing is on but no context is given, the coordinator opens its
+        own root.
         """
         if activity.name in self._runs:
             raise RecoveryError(f"activity {activity.name!r} is already running")
+        if trace is None and self._tracer is not None:
+            trace = self._tracer.root(self.workflow_id or activity.name)
         strategy = self._resolve_strategy(activity.policy)
-        run = ActivityRun(activity=activity, program=program, strategy=strategy)
+        run = ActivityRun(
+            activity=activity, program=program, strategy=strategy, trace=trace
+        )
         run.slots = [
             _Slot(index=i, option_index=plan.option_index)
             for i, plan in enumerate(
@@ -239,12 +261,15 @@ class RecoveryCoordinator:
             slot.timeout_timer.cancel()
             slot.timeout_timer = None
 
-        # Remember any checkpoint the attempt reported before ending.
+        # Remember any checkpoint the attempt reported before ending; the
+        # producing attempt's span id rides along so a later restart can
+        # name the attempt whose saved state it resumes from.
         if outcome.checkpoint_flag:
             self.checkpoints.record(
                 self._flag_key(run, slot),
                 outcome.checkpoint_flag,
                 at=self._reactor.now(),
+                source_span=outcome.span_id,
             )
 
         if outcome.state is TaskState.DONE:
@@ -262,6 +287,14 @@ class RecoveryCoordinator:
             raise RecoveryError(f"unexpected outcome state {outcome.state}")
 
     # -- reuse ---------------------------------------------------------------------------
+
+    def set_tracer(self, tracer: Tracer | None) -> None:
+        """Swap the causal-context allocator (``None`` turns tracing off).
+
+        Safe between runs; attempts already in flight keep the contexts
+        they were minted with.
+        """
+        self._tracer = tracer
 
     def reset(self) -> None:
         """Drop all in-flight bookkeeping, returning the coordinator to its
@@ -322,15 +355,32 @@ class RecoveryCoordinator:
         flag = run.strategy.submit_flag(
             run.activity, self.checkpoints, self._flag_key(run, slot)
         )
+        # Causal chain: the attempt's parent is the recovery decision that
+        # spawned it (a retry, or the checkpoint-restart minted just below);
+        # the very first attempt of a slot descends from the activity root.
+        parent = slot.next_parent if slot.next_parent is not None else run.trace
+        slot.next_parent = None
         if flag is not None:
+            restart_ctx = None
+            if self._tracer is not None and parent is not None:
+                restart_ctx = self._tracer.child(parent)
+                parent = restart_ctx
             self._publish(
                 RECOVERY_CHECKPOINT_RESTART,
-                {
-                    "activity": run.activity.name,
-                    "slot": slot.index,
-                    "flag": flag,
-                },
+                stamp(
+                    {
+                        "activity": run.activity.name,
+                        "slot": slot.index,
+                        "flag": flag,
+                        "flag_source": self.checkpoints.source_span_of(
+                            self._flag_key(run, slot)
+                        ),
+                    },
+                    restart_ctx,
+                ),
             )
+        if self._tracer is not None and parent is not None:
+            slot.attempt_trace = self._tracer.child(parent)
         request = SubmitRequest(
             activity=run.activity.name,
             executable=target.executable,
@@ -350,6 +400,7 @@ class RecoveryCoordinator:
             run.activity.name,
             target.hostname,
             workflow_id=self.workflow_id,
+            trace=slot.attempt_trace,
         )
         timeout = run.activity.policy.attempt_timeout
         if timeout is not None:
@@ -372,15 +423,24 @@ class RecoveryCoordinator:
         )
         if decision is not None:
             slot.option_index = decision.option_index
+            decision_ctx = None
+            if self._tracer is not None and slot.attempt_trace is not None:
+                # The decision descends from the failed attempt; the next
+                # attempt will descend from the decision.
+                decision_ctx = self._tracer.child(slot.attempt_trace)
+                slot.next_parent = decision_ctx
             self._publish(
                 RECOVERY_RETRY,
-                {
-                    "activity": run.activity.name,
-                    "slot": slot.index,
-                    "option": decision.option_index,
-                    "delay": decision.delay,
-                    "tries": slot.tries_used,
-                },
+                stamp(
+                    {
+                        "activity": run.activity.name,
+                        "slot": slot.index,
+                        "option": decision.option_index,
+                        "delay": decision.delay,
+                        "tries": slot.tries_used,
+                    },
+                    decision_ctx,
+                ),
             )
             if decision.delay > 0:
                 slot.retry_timer = self._reactor.call_later(
@@ -390,13 +450,19 @@ class RecoveryCoordinator:
                 self._retry_fire(run, slot)
             return
         slot.exhausted = True
+        exhausted_ctx = None
+        if self._tracer is not None and slot.attempt_trace is not None:
+            exhausted_ctx = self._tracer.child(slot.attempt_trace)
         self._publish(
             RECOVERY_EXHAUSTED,
-            {
-                "activity": run.activity.name,
-                "slot": slot.index,
-                "tries": slot.tries_used,
-            },
+            stamp(
+                {
+                    "activity": run.activity.name,
+                    "slot": slot.index,
+                    "tries": slot.tries_used,
+                },
+                exhausted_ctx,
+            ),
         )
         if all(s.exhausted for s in run.slots):
             if exception is not None:
@@ -453,13 +519,25 @@ class RecoveryCoordinator:
     def _resolve_done(self, run: ActivityRun, outcome: AttemptOutcome) -> None:
         run.resolved = True
         if len(run.slots) > 1:
+            win_ctx = None
+            if self._tracer is not None and outcome.span_id:
+                # Parent is the winning attempt, reconstructed from the
+                # outcome's stamped ids.
+                win_ctx = self._tracer.child(
+                    TraceContext(
+                        trace_id=outcome.trace_id, span_id=outcome.span_id
+                    )
+                )
             self._publish(
                 RECOVERY_REPLICATION_WIN,
-                {
-                    "activity": run.activity.name,
-                    "host": outcome.hostname,
-                    "slots": len(run.slots),
-                },
+                stamp(
+                    {
+                        "activity": run.activity.name,
+                        "host": outcome.hostname,
+                        "slots": len(run.slots),
+                    },
+                    win_ctx,
+                ),
             )
         self._cancel_slots(run)
         for slot in run.slots:
@@ -501,13 +579,19 @@ class RecoveryCoordinator:
 
     def _finish(self, run: ActivityRun, resolution: TaskResolution) -> None:
         self._runs.pop(run.activity.name, None)
+        resolved_ctx = None
+        if self._tracer is not None and run.trace is not None:
+            resolved_ctx = self._tracer.child(run.trace)
         self._publish(
             RECOVERY_RESOLVED,
-            {
-                "activity": resolution.activity,
-                "state": resolution.state.value,
-                "tries": resolution.tries_used,
-            },
+            stamp(
+                {
+                    "activity": resolution.activity,
+                    "state": resolution.state.value,
+                    "tries": resolution.tries_used,
+                },
+                resolved_ctx,
+            ),
         )
         self._on_resolution(resolution)
 

@@ -123,6 +123,13 @@ class EventBus:
         self._next_token = 0
         self._history: list[EventRecord] | None = None
         self._seq = 0
+        #: Every-event observers (flight recorders) invoked on each publish
+        #: *before* routed dispatch — in publish order, ahead of any
+        #: recursive publishes a handler triggers.  A tuple so the empty
+        #: common case costs one truthiness check on the hot path; taps
+        #: bypass route resolution entirely (a ``"*"`` subscription would
+        #: put one more group into every topic's route).
+        self._taps: tuple[Handler, ...] = ()
         #: Number of route resolutions (full matching passes).  A healthy
         #: steady state publishes many times per build; tests and the bus
         #: micro-benchmark assert on it.
@@ -186,6 +193,20 @@ class EventBus:
                 del self._exact[sub.pattern]
                 self._routes.pop(sub.pattern, None)
 
+    def add_tap(self, handler: Handler) -> None:
+        """Register *handler* to observe every publish (see ``_taps``).
+        Idempotent: a handler already tapped is not added twice."""
+        if handler not in self._taps:
+            self._taps = (*self._taps, handler)
+
+    def remove_tap(self, handler: Handler) -> None:
+        """Remove a previously added tap.  Idempotent.
+
+        Matches by equality, not identity: ``obj.method`` creates a fresh
+        bound-method object per access, and two of them compare equal.
+        """
+        self._taps = tuple(t for t in self._taps if t != handler)
+
     # -- publication -------------------------------------------------------
 
     def _build_route(self, topic: str) -> tuple[dict[int, Handler], ...]:
@@ -212,6 +233,10 @@ class EventBus:
                 EventRecord(seq=self._seq, topic=topic, payload=payload)
             )
         self._seq += 1
+        taps = self._taps
+        if taps:
+            for tap in taps:
+                tap(topic, payload)
         route = self._routes.get(topic)
         if route is None:
             route = self._build_route(topic)
@@ -232,10 +257,12 @@ class EventBus:
         """Dispatch-path counters: interned topic routes, route builds
         (full matching passes), and live subscription-group counts."""
         return {
+            "publishes": self._seq,
             "cached_routes": len(self._routes),
             "route_builds": self.route_builds,
             "exact_topics": len(self._exact),
             "pattern_entries": len(self._patterns),
+            "taps": len(self._taps),
         }
 
     def enable_history(self) -> None:

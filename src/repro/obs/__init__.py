@@ -14,10 +14,18 @@ plus :mod:`repro.obs.observer`, the bus subscriber that turns engine /
 detector / recovery events into the recording, and
 :class:`~repro.obs.core.Observability`, the bundle the CLI threads through
 a run.
+
+The live telemetry plane builds on those:
+:mod:`repro.obs.tracectx` (causal trace/span ids stamped through every
+bus payload), :mod:`repro.obs.recorder` (the flight recorder journaling
+every event), :mod:`repro.obs.postmortem` (``repro inspect`` timeline
+reconstruction), and :mod:`repro.obs.server` (the HTTP scrape/status
+endpoint behind ``--serve-telemetry``).
 """
 
 from .core import NULL_OBS, Observability
 from .export import (
+    atomic_write_text,
     chrome_trace,
     jsonl_lines,
     prometheus_text,
@@ -33,13 +41,30 @@ from .metrics import (
     MetricsError,
     MetricsRegistry,
 )
-from .observer import RecordedEvent, RunObserver, scrape_detector, scrape_grid
+from .observer import (
+    RecordedEvent,
+    RunObserver,
+    scrape_bus,
+    scrape_detector,
+    scrape_grid,
+    scrape_kernel,
+)
+from .postmortem import (
+    WorkflowTimeline,
+    build_timelines,
+    load_recording,
+    render_report,
+)
+from .recorder import FlightRecorder
+from .server import TelemetryServer, WorkflowStatusTracker
 from .spans import Span, SpanRecorder
+from .tracectx import TraceContext, Tracer, stamp
 
 __all__ = [
     "ATTEMPT_BUCKETS",
     "DEFAULT_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsError",
@@ -50,11 +75,23 @@ __all__ = [
     "RunObserver",
     "Span",
     "SpanRecorder",
+    "TelemetryServer",
+    "TraceContext",
+    "Tracer",
+    "WorkflowStatusTracker",
+    "WorkflowTimeline",
+    "atomic_write_text",
+    "build_timelines",
     "chrome_trace",
     "jsonl_lines",
+    "load_recording",
     "prometheus_text",
+    "render_report",
+    "scrape_bus",
     "scrape_detector",
     "scrape_grid",
+    "scrape_kernel",
+    "stamp",
     "write_chrome_trace",
     "write_jsonl",
 ]

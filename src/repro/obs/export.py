@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
@@ -32,12 +33,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .spans import Span
 
 __all__ = [
+    "atomic_write_text",
     "jsonl_lines",
     "write_jsonl",
     "prometheus_text",
     "chrome_trace",
     "write_chrome_trace",
 ]
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write *text* to *path* via ``.tmp`` + rename.
+
+    A scraper or a tailing reader never sees a half-written export: the
+    file either holds the previous complete contents or the new ones.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, target)
 
 
 # -- JSON lines ---------------------------------------------------------------
@@ -103,13 +117,11 @@ def write_jsonl(
     spans: Iterable["Span"] = (),
     metrics: "MetricsRegistry | None" = None,
 ) -> int:
-    """Write the JSON-lines export to *path*; returns the line count."""
-    count = 0
-    with Path(path).open("w") as fh:
-        for line in jsonl_lines(events=events, spans=spans, metrics=metrics):
-            fh.write(line + "\n")
-            count += 1
-    return count
+    """Write the JSON-lines export to *path* atomically; returns the line
+    count."""
+    lines = list(jsonl_lines(events=events, spans=spans, metrics=metrics))
+    atomic_write_text(path, "".join(line + "\n" for line in lines))
+    return len(lines)
 
 
 # -- Prometheus text exposition -----------------------------------------------
@@ -205,15 +217,28 @@ def chrome_trace(spans: Iterable["Span"], *, process_name: str = "repro") -> dic
     """
     tracks: dict[str, int] = {}
     events: list[dict] = []
+    # Causal flow bookkeeping: spans stamped by the tracer carry
+    # span_id/parent_id labels; where both ends of a parent→child edge are
+    # present, a Chrome flow ("s"/"f" pair) draws the arrow — retry
+    # decision to the attempt it spawned, attempt to the verdict it drew.
+    by_span_id: dict[str, tuple[float, int]] = {}
+    flow_edges: list[tuple[str, str, float, int]] = []
     for span in spans:
         track = _track_for(span)
         tid = tracks.setdefault(track, len(tracks) + 1)
+        ts = span.sim_start * SIM_TO_MICROS
+        span_id = span.labels.get("span_id")
+        if span_id is not None:
+            by_span_id[str(span_id)] = (ts, tid)
+        parent_id = span.labels.get("parent_id")
+        if span_id is not None and parent_id is not None:
+            flow_edges.append((str(parent_id), str(span_id), ts, tid))
         events.append(
             {
                 "name": span.name,
                 "cat": span.name.split(".", 1)[0],
                 "ph": "X",
-                "ts": span.sim_start * SIM_TO_MICROS,
+                "ts": ts,
                 "dur": span.sim_duration * SIM_TO_MICROS,
                 "pid": 1,
                 "tid": tid,
@@ -221,6 +246,26 @@ def chrome_trace(spans: Iterable["Span"], *, process_name: str = "repro") -> dic
                     **{k: str(v) for k, v in span.labels.items()},
                     "wall_seconds": round(span.wall_duration, 9),
                 },
+            }
+        )
+    for flow_id, (parent_id, span_id, child_ts, child_tid) in enumerate(
+        flow_edges, start=1
+    ):
+        source = by_span_id.get(parent_id)
+        if source is None:
+            continue  # the causing event was outside this recording
+        source_ts, source_tid = source
+        common = {"cat": "causal", "name": "causal", "id": flow_id, "pid": 1}
+        events.append(
+            {**common, "ph": "s", "ts": source_ts, "tid": source_tid}
+        )
+        events.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "ts": max(child_ts, source_ts),
+                "tid": child_tid,
             }
         )
     meta: list[dict] = [
@@ -247,7 +292,8 @@ def chrome_trace(spans: Iterable["Span"], *, process_name: str = "repro") -> dic
 def write_chrome_trace(
     path: str | Path, spans: Iterable["Span"], *, process_name: str = "repro"
 ) -> int:
-    """Write the Chrome trace to *path*; returns the event count."""
+    """Write the Chrome trace to *path* atomically; returns the event
+    count."""
     payload = chrome_trace(spans, process_name=process_name)
-    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=1) + "\n")
     return len(payload["traceEvents"])

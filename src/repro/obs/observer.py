@@ -43,7 +43,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .metrics import MetricsRegistry
     from .spans import Span
 
-__all__ = ["RecordedEvent", "RunObserver", "scrape_grid", "scrape_detector"]
+__all__ = [
+    "RecordedEvent",
+    "RunObserver",
+    "scrape_grid",
+    "scrape_kernel",
+    "scrape_bus",
+    "scrape_detector",
+]
 
 
 @dataclass(frozen=True)
@@ -255,6 +262,18 @@ class RunObserver:
         }
         if wfid:
             detail["workflow_id"] = wfid
+        # Causal ids stamped by the tracer (repro.obs.tracectx), carried as
+        # span labels so exporters can draw the decision → attempt chain.
+        trace_labels = {
+            key: value
+            for key, value in (
+                ("span_id", getattr(payload, "span_id", "") or ""),
+                ("parent_id", getattr(payload, "parent_id", "") or ""),
+            )
+            if value
+        }
+        if trace_labels:
+            detail.update(trace_labels)
         at = payload.at
         self._events.append(RecordedEvent(at=at, topic=topic, detail=detail))
         spans = self.obs.spans
@@ -268,6 +287,7 @@ class RunObserver:
                 job=job,
                 host=payload.hostname,
                 **wl,
+                **trace_labels,
             )
         elif base in _TERMINAL_TASK_TOPICS:
             outcome = base.rsplit(".", 1)[1]
@@ -283,6 +303,7 @@ class RunObserver:
                     job=job,
                     host=payload.hostname,
                     **wl,
+                    **trace_labels,
                 )
             span.labels["outcome"] = outcome
             if payload.reason:
@@ -314,6 +335,23 @@ class RunObserver:
         wfid = detail.get("workflow_id", "") or ""
         wl = {"workflow_id": wfid} if wfid else {}
         metrics = self.obs.metrics
+        # Every recovery decision leaves a zero-duration marker span under
+        # its node, carrying the causal ids — the chrome_trace exporter
+        # draws flow arrows from these to the attempts they spawned.
+        if topic != "recovery.resolved":
+            trace_labels = {
+                key: detail[key]
+                for key in ("span_id", "parent_id")
+                if detail.get(key)
+            }
+            node_span = self._node_spans.get((wfid, activity))
+            self.obs.spans.instant(
+                topic,
+                parent=node_span.id if node_span is not None else None,
+                activity=activity,
+                **wl,
+                **trace_labels,
+            )
         if topic == "recovery.retry":
             delay = float(detail.get("delay", 0.0) or 0.0)
             metrics.counter(
@@ -369,13 +407,14 @@ class RunObserver:
 # -- end-of-run scrapers ------------------------------------------------------
 
 
-def scrape_grid(registry: "MetricsRegistry", grid: "SimulatedGrid") -> None:
-    """Pull the simulated grid's internal counters into *registry*.
+def scrape_kernel(registry: "MetricsRegistry", kernel: Any) -> None:
+    """Pull the sim kernel's health counters into *registry*.
 
-    The sim kernel and network keep cheap plain-int counters on their hot
-    paths; scraping them once at export time costs nothing per event.
+    Anything exposing :meth:`SimKernel.stats` works — the kernel keeps
+    cheap plain-int counters on its hot path, so scraping once at export
+    time costs nothing per event.
     """
-    kernel_stats = grid.kernel.stats()
+    kernel_stats = kernel.stats()
     gauge = registry.gauge
     gauge(
         "sim_events_processed", help="callbacks executed by the sim kernel"
@@ -396,6 +435,44 @@ def scrape_grid(registry: "MetricsRegistry", grid: "SimulatedGrid") -> None:
         kernel_stats["timers_cancelled"]
         / max(1, kernel_stats["timers_scheduled"])
     )
+
+
+def scrape_bus(registry: "MetricsRegistry", bus: "EventBus") -> None:
+    """Record the event bus's dispatch-path counters.
+
+    ``bus_route_cache_hit_rate`` is the fraction of publishes served from
+    an interned route (1 − route builds / publishes) — the dispatch-cost
+    figure the multiplexed-host benchmarks watch.
+    """
+    stats = bus.stats()
+    gauge = registry.gauge
+    gauge("bus_publishes", help="events published on the bus").set(
+        stats["publishes"]
+    )
+    gauge(
+        "bus_cached_routes", help="interned topic → subscriber routes"
+    ).set(stats["cached_routes"])
+    gauge(
+        "bus_route_builds", help="full matching passes (route-cache misses)"
+    ).set(stats["route_builds"])
+    gauge(
+        "bus_subscription_groups",
+        help="live exact-topic groups plus pattern entries",
+    ).set(stats["exact_topics"] + stats["pattern_entries"])
+    gauge(
+        "bus_route_cache_hit_rate",
+        help="publishes served without a matching pass",
+    ).set(1.0 - stats["route_builds"] / max(1, stats["publishes"]))
+
+
+def scrape_grid(registry: "MetricsRegistry", grid: "SimulatedGrid") -> None:
+    """Pull the simulated grid's internal counters into *registry*.
+
+    Delegates the kernel block to :func:`scrape_kernel`, then adds the
+    network and GRAM counters only a grid has.
+    """
+    scrape_kernel(registry, grid.kernel)
+    gauge = registry.gauge
     net = grid.network.stats
     for name, value, help_text in (
         ("network_messages_sent", net.sent, "messages offered to the network"),

@@ -1,0 +1,325 @@
+"""Live telemetry plane: a zero-dependency HTTP scrape/status server.
+
+Serves the running stack's observability state over plain
+:mod:`http.server` (stdlib only — the whole repo's rule), from a daemon
+thread, while the reactor drives workflows on the main thread:
+
+* ``GET /metrics``          — the live :class:`~repro.obs.metrics.MetricsRegistry`
+  in Prometheus text exposition format (scrape-able mid-run);
+* ``GET /healthz``          — liveness + a tiny run summary;
+* ``GET /workflows``        — JSON status of every admitted instance;
+* ``GET /workflows/<id>``   — one instance in full: phase, in-flight
+  nodes, attempt/verdict counts, last recovery action, causal trace id.
+
+Status is maintained by :class:`WorkflowStatusTracker`, a bus subscriber
+— not by poking engine internals from the server thread.  All mutation
+happens on the reactor thread inside the tracker's handlers; the HTTP
+thread only reads JSON-safe scalars out of per-instance dicts, which the
+GIL makes safe without locks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from ..events import EventBus, Subscription
+from .export import prometheus_text
+from .metrics import MetricsRegistry
+
+__all__ = ["WorkflowStatusTracker", "TelemetryServer"]
+
+_TERMINAL_TASK = ("task.done", "task.failed", "task.exception")
+
+
+def _base_task_topic(topic: str) -> str:
+    for base in ("task.active",) + _TERMINAL_TASK:
+        if topic == base or topic.startswith(base + "."):
+            return base
+    return topic
+
+
+class WorkflowStatusTracker:
+    """Bus subscriber keeping a JSON-safe live status per workflow instance."""
+
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self._status: dict[str, dict[str, Any]] = {}
+        self._bus: EventBus | None = None
+        self._subscriptions: list[Subscription] = []
+        if bus is not None:
+            self.attach_bus(bus)
+
+    def attach_bus(self, bus: EventBus) -> "WorkflowStatusTracker":
+        if self._bus is bus and self._subscriptions:
+            return self
+        self.detach()
+        self._bus = bus
+        self._subscriptions = [
+            bus.subscribe("engine.*", self._on_engine_event),
+            bus.subscribe("task.*", self._on_task_event),
+            bus.subscribe("recovery.*", self._on_recovery_event),
+        ]
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            for sub in self._subscriptions:
+                self._bus.unsubscribe(sub)
+        self._subscriptions.clear()
+
+    # -- event handlers (reactor thread) -------------------------------------
+
+    def _entry(self, wfid: str) -> dict[str, Any]:
+        entry = self._status.get(wfid)
+        if entry is None:
+            entry = self._status[wfid] = {
+                "workflow_id": wfid,
+                "workflow": "",
+                "phase": "running",
+                "trace_id": "",
+                "nodes_launched": 0,
+                "nodes_completed": 0,
+                "running_nodes": [],
+                "attempts": {"total": 0, "in_flight": 0},
+                "last_recovery": None,
+                "finished_at": None,
+            }
+        return entry
+
+    def _on_engine_event(self, topic: str, payload: Any) -> None:
+        if not isinstance(payload, dict):
+            return
+        entry = self._entry(str(payload.get("workflow_id", "") or ""))
+        if payload.get("workflow"):
+            entry["workflow"] = str(payload["workflow"])
+        trace = payload.get("trace_id")
+        if trace and not entry["trace_id"]:
+            entry["trace_id"] = str(trace)
+        node = payload.get("node")
+        if topic == "engine.node_launched":
+            entry["nodes_launched"] += 1
+            running = list(entry["running_nodes"])
+            running.append(str(node))
+            entry["running_nodes"] = running
+        elif topic in ("engine.node_completed", "engine.node_cancelled"):
+            entry["nodes_completed"] += 1
+            entry["running_nodes"] = [
+                n for n in entry["running_nodes"] if n != str(node)
+            ]
+        elif topic == "engine.workflow_finished":
+            entry["phase"] = str(payload.get("status", "done"))
+            at = payload.get("at")
+            entry["finished_at"] = float(at) if at is not None else None
+            entry["running_nodes"] = []
+
+    def _on_task_event(self, topic: str, payload: Any) -> None:
+        wfid = str(getattr(payload, "workflow_id", "") or "")
+        base = _base_task_topic(topic)
+        entry = self._entry(wfid)
+        attempts = dict(entry["attempts"])
+        if base == "task.active":
+            attempts["total"] = attempts.get("total", 0) + 1
+            attempts["in_flight"] = attempts.get("in_flight", 0) + 1
+        elif base in _TERMINAL_TASK:
+            outcome = base.rsplit(".", 1)[1]
+            attempts[outcome] = attempts.get(outcome, 0) + 1
+            attempts["in_flight"] = max(0, attempts.get("in_flight", 0) - 1)
+        else:
+            return
+        entry["attempts"] = attempts
+
+    def _on_recovery_event(self, topic: str, payload: Any) -> None:
+        if not isinstance(payload, dict):
+            return
+        entry = self._entry(str(payload.get("workflow_id", "") or ""))
+        entry["last_recovery"] = {
+            "action": topic,
+            "activity": str(payload.get("activity", "")),
+            "at": float(payload.get("at", 0.0) or 0.0),
+            "span_id": str(payload.get("span_id", "") or ""),
+        }
+
+    # -- reads (any thread) --------------------------------------------------
+
+    def workflow_ids(self) -> list[str]:
+        return sorted(self._status)
+
+    def status_of(self, workflow_id: str) -> dict[str, Any] | None:
+        entry = self._status.get(workflow_id)
+        if entry is None:
+            return None
+        copy = dict(entry)
+        copy["attempts"] = dict(entry["attempts"])
+        copy["running_nodes"] = list(entry["running_nodes"])
+        if entry["last_recovery"] is not None:
+            copy["last_recovery"] = dict(entry["last_recovery"])
+        return copy
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        statuses = []
+        for wfid in self.workflow_ids():
+            status = self.status_of(wfid)
+            if status is not None:
+                statuses.append(status)
+        return statuses
+
+
+class TelemetryServer:
+    """Serves ``/metrics``, ``/healthz`` and ``/workflows`` from a thread.
+
+    *registry* feeds ``/metrics``; *tracker* feeds the workflow routes;
+    *extra_health* (an optional callable returning a dict) is merged into
+    ``/healthz`` for run-specific detail.  ``port=0`` binds an ephemeral
+    port — read :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracker: WorkflowStatusTracker | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        extra_health: Callable[[], dict[str, Any]] | None = None,
+    ) -> None:
+        self.registry = registry
+        self.tracker = tracker
+        self.host = host
+        self.port = port
+        self.extra_health = extra_health
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.port
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- route bodies (HTTP thread) ------------------------------------------
+
+    def render_metrics(self) -> str:
+        if self.registry is None:
+            return ""
+        return prometheus_text(self.registry)
+
+    def render_health(self) -> dict[str, Any]:
+        health: dict[str, Any] = {"status": "ok"}
+        if self.tracker is not None:
+            statuses = self.tracker.snapshot()
+            health["workflows"] = len(statuses)
+            health["running"] = sum(
+                1 for s in statuses if s["phase"] == "running"
+            )
+        if self.extra_health is not None:
+            try:
+                health.update(self.extra_health())
+            except Exception as exc:  # health must never 500
+                health["extra_error"] = repr(exc)
+        return health
+
+    def render_workflows(self) -> list[dict[str, Any]]:
+        return self.tracker.snapshot() if self.tracker is not None else []
+
+    def render_workflow(self, workflow_id: str) -> dict[str, Any] | None:
+        if self.tracker is None:
+            return None
+        return self.tracker.status_of(workflow_id)
+
+
+def _make_handler(server: TelemetryServer) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        # Telemetry must not spam the run's stderr with access logs.
+        def log_message(self, *_args: Any) -> None:
+            pass
+
+        def _send(
+            self, status: int, body: bytes, content_type: str
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, payload: Any) -> None:
+            body = json.dumps(payload, indent=1, sort_keys=True).encode()
+            self._send(status, body, "application/json")
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/metrics":
+                self._send(
+                    200,
+                    server.render_metrics().encode(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/healthz":
+                self._send_json(200, server.render_health())
+            elif path == "/workflows":
+                self._send_json(200, server.render_workflows())
+            elif path.startswith("/workflows/"):
+                wfid = path[len("/workflows/") :]
+                status = server.render_workflow(wfid)
+                if status is None:
+                    self._send_json(
+                        404,
+                        {
+                            "error": f"unknown workflow {wfid!r}",
+                            "known": server.tracker.workflow_ids()
+                            if server.tracker is not None
+                            else [],
+                        },
+                    )
+                else:
+                    self._send_json(200, status)
+            elif path == "/":
+                self._send_json(
+                    200,
+                    {
+                        "routes": [
+                            "/metrics",
+                            "/healthz",
+                            "/workflows",
+                            "/workflows/<id>",
+                        ]
+                    },
+                )
+            else:
+                self._send_json(404, {"error": f"no route {path!r}"})
+
+    return Handler

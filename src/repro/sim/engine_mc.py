@@ -116,6 +116,7 @@ class EngineSampler:
         params: SimulationParams,
         *,
         timeout: float = 10_000_000.0,
+        trace_context: bool = False,
     ) -> None:
         self.technique = technique
         self.params = params
@@ -142,7 +143,36 @@ class EngineSampler:
         #: engine Monte-Carlo benchmark asserts the instrumented-but-
         #: disabled path stays within 2% of this one.
         self.metrics = None
+        #: Optional causal tracing (``trace_context=True``): the engine is
+        #: built with a :class:`repro.obs.tracectx.Tracer` so every bus
+        #: payload carries trace/span ids.  The observability-overhead
+        #: benchmark gates this path against the untraced one.
+        self._tracer = None
+        if trace_context:
+            from ..obs.tracectx import Tracer
+
+            self._tracer = Tracer()
         self._engine: WorkflowEngine | None = None
+
+    @property
+    def engine(self) -> WorkflowEngine | None:
+        """The reused engine, once :meth:`run` has built it (diagnostics)."""
+        return self._engine
+
+    def set_trace_context(self, enabled: bool) -> None:
+        """Toggle causal tracing on the reused engine between runs.
+
+        The observability-overhead benchmark flips this on one sampler
+        instance so traced and untraced passes share every object layout.
+        """
+        if enabled and self._tracer is None:
+            from ..obs.tracectx import Tracer
+
+            self._tracer = Tracer()
+        elif not enabled:
+            self._tracer = None
+        if self._engine is not None:
+            self._engine.set_tracer(self._tracer)
 
     def run(self, seed: int) -> float:
         """One end-to-end engine execution; returns the completion time."""
@@ -150,7 +180,11 @@ class EngineSampler:
         grid.reset(seed=seed)
         if self._engine is None:
             self._engine = WorkflowEngine(
-                self.workflow, grid, reactor=grid.reactor, validate_spec=False
+                self.workflow,
+                grid,
+                reactor=grid.reactor,
+                validate_spec=False,
+                tracer=self._tracer,
             )
         else:
             self._engine.reset()

@@ -1,0 +1,478 @@
+"""Live telemetry plane tests: causal trace propagation, the flight
+recorder and its post-mortem reconstruction, and the HTTP scrape/status
+server — plus the exporter round-trip of many concurrent instances'
+labelled series.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from tests.helpers import single_task_workflow
+from repro.core import FailurePolicy
+from repro.engine import EngineHost, WorkflowEngine
+from repro.events import EventBus
+from repro.grid import (
+    RELIABLE,
+    CheckpointingTask,
+    CrashingTask,
+    FixedDurationTask,
+    inject_crash,
+)
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    RunObserver,
+    TelemetryServer,
+    TraceContext,
+    Tracer,
+    WorkflowStatusTracker,
+    build_timelines,
+    chrome_trace,
+    jsonl_lines,
+    load_recording,
+    prometheus_text,
+    render_report,
+    scrape_bus,
+    scrape_kernel,
+    stamp,
+)
+
+
+def crashy_run(bus: EventBus, *, crashes: int = 2, tracer: Tracer | None = None):
+    """A single-task run that crashes *crashes* times then succeeds,
+    publishing on *bus*; returns the engine's result."""
+    from repro.grid import GridConfig, SimulatedGrid
+
+    grid = SimulatedGrid(config=GridConfig(heartbeats=False))
+    grid.add_host(RELIABLE("h1"))
+    grid.install(
+        "h1", "task", CrashingTask(duration=30.0, crash_at=5.0, crashes=crashes)
+    )
+    wf = single_task_workflow(policy=FailurePolicy.retrying(8, interval=2.0))
+    engine = WorkflowEngine(
+        wf, grid, reactor=grid.reactor, bus=bus, tracer=tracer
+    )
+    return engine.run(timeout=1e6)
+
+
+def collect_ids(events):
+    """topic → list of (trace_id, span_id, parent_id) triples, duck-typed
+    over dict and AttemptOutcome payloads."""
+    triples = []
+    for topic, payload in events:
+        if isinstance(payload, dict):
+            ids = (
+                payload.get("trace_id", ""),
+                payload.get("span_id", ""),
+                payload.get("parent_id", ""),
+            )
+        else:
+            ids = (
+                getattr(payload, "trace_id", ""),
+                getattr(payload, "span_id", ""),
+                getattr(payload, "parent_id", ""),
+            )
+        triples.append((topic, *ids))
+    return triples
+
+
+class TestTracer:
+    def test_ids_are_deterministic_counters(self):
+        tracer = Tracer()
+        root = tracer.root("wf-1")
+        child = tracer.child(root)
+        grandchild = tracer.child(child)
+        assert root.trace_id == "wf-1#1"
+        assert (root.span_id, child.span_id, grandchild.span_id) == (
+            "s1",
+            "s2",
+            "s3",
+        )
+        assert root.parent_id is None
+        assert child.parent_id == "s1"
+        assert grandchild.parent_id == "s2"
+        assert child.trace_id == grandchild.trace_id == root.trace_id
+        assert tracer.spans_allocated == 3
+        assert tracer.traces_opened == 1
+
+    def test_two_tracers_produce_identical_sequences(self):
+        a, b = Tracer(), Tracer()
+        seq_a = [a.child(a.root("x")) for _ in range(5)]
+        seq_b = [b.child(b.root("x")) for _ in range(5)]
+        assert seq_a == seq_b
+
+    def test_stamp_writes_ids_and_noop_when_off(self):
+        detail: dict = {"k": 1}
+        assert stamp(detail, None) == {"k": 1}
+        ctx = TraceContext(trace_id="t#1", span_id="s2", parent_id="s1")
+        stamped = stamp({"k": 1}, ctx)
+        assert stamped == {
+            "k": 1,
+            "trace_id": "t#1",
+            "span_id": "s2",
+            "parent_id": "s1",
+        }
+        root = TraceContext(trace_id="t#1", span_id="s1")
+        assert "parent_id" not in stamp({}, root)
+
+
+class TestCausalPropagation:
+    def test_untraced_run_stamps_nothing(self):
+        bus = EventBus()
+        events = []
+        bus.subscribe("*", lambda t, p: events.append((t, p)))
+        result = crashy_run(bus, tracer=None)
+        assert result.succeeded
+        for _topic, trace_id, span_id, _parent in collect_ids(events):
+            assert trace_id == "" and span_id == ""
+
+    def test_retry_chain_links_attempts_to_decisions(self):
+        bus = EventBus()
+        events = []
+        bus.subscribe("*", lambda t, p: events.append((t, p)))
+        result = crashy_run(bus, crashes=2, tracer=Tracer())
+        assert result.succeeded
+        ids = collect_ids(events)
+        trace_ids = {t for _, t, _, _ in ids if t}
+        assert len(trace_ids) == 1  # one run, one causal tree
+
+        by_topic: dict[str, list[tuple[str, str]]] = {}
+        for topic, _trace, span, parent in ids:
+            if span:
+                by_topic.setdefault(topic, []).append((span, parent))
+
+        launches = by_topic["engine.node_launched"]
+        attempts = by_topic["task.active"]
+        retries = by_topic["recovery.retry"]
+        assert len(attempts) == 3 and len(retries) == 2
+        # First attempt descends from the node launch.
+        assert attempts[0][1] == launches[0][0]
+        # Each retry decision descends from the attempt that failed, and
+        # each subsequent attempt descends from the decision.
+        for i, (retry_span, retry_parent) in enumerate(retries):
+            assert retry_parent == attempts[i][0]
+            assert attempts[i + 1][1] == retry_span
+        # Terminal attempt outcomes carry the attempt's own span.
+        attempt_spans = {span for span, _parent in attempts}
+        for span, _parent in by_topic["task.failed"]:
+            assert span in attempt_spans
+        # The resolution closes back to the launch.
+        resolved = by_topic["recovery.resolved"][0]
+        assert resolved[1] == launches[0][0]
+
+    def test_traced_runs_are_repeatable(self):
+        def run_ids():
+            bus = EventBus()
+            events = []
+            bus.subscribe("*", lambda t, p: events.append((t, p)))
+            crashy_run(bus, tracer=Tracer())
+            return collect_ids(events)
+
+        assert run_ids() == run_ids()
+
+    def test_checkpoint_restart_carries_flag_source_span(self):
+        from repro.grid import GridConfig, SimulatedGrid
+
+        grid = SimulatedGrid(config=GridConfig(heartbeats=False))
+        grid.add_host(RELIABLE("h1"))
+        grid.install(
+            "h1",
+            "task",
+            CheckpointingTask(duration=30.0, checkpoints=6, overhead=0.5),
+        )
+        inject_crash(grid.kernel, grid.host("h1"), at=12.0, duration=0.0)
+        bus = EventBus()
+        events = []
+        bus.subscribe("*", lambda t, p: events.append((t, p)))
+        wf = single_task_workflow(policy=FailurePolicy.retrying(None))
+        engine = WorkflowEngine(
+            wf, grid, reactor=grid.reactor, bus=bus, tracer=Tracer()
+        )
+        assert engine.run(timeout=1e6).succeeded
+        restarts = [
+            p for t, p in events if t == "recovery.checkpoint_restart"
+        ]
+        assert restarts, "expected a checkpoint restart"
+        first_attempt_span = next(
+            getattr(p, "span_id", "")
+            for t, p in events
+            if t.startswith("task.active")
+        )
+        assert restarts[0]["flag_source"] == first_attempt_span
+        assert restarts[0]["span_id"]  # the restart is itself a hop
+
+
+class TestFlightRecorder:
+    def test_ring_bounds_and_stats(self):
+        bus = EventBus()
+        recorder = FlightRecorder(bus, capacity=5)
+        for i in range(8):
+            bus.publish("t.x", {"i": i})
+        stats = recorder.stats()
+        assert stats["recorded"] == 8
+        assert stats["retained"] == 5
+        assert stats["overwritten"] == 3
+        assert [e["i"] for e in recorder.entries] == [3, 4, 5, 6, 7]
+        recorder.detach()
+        bus.publish("t.x", {"i": 99})
+        assert recorder.stats()["recorded"] == 8
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_spill_and_dump_round_trip(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        bus = EventBus()
+        with FlightRecorder(bus, spill_path=str(spill)) as recorder:
+            crashy_run(bus, tracer=Tracer())
+            dump = tmp_path / "dump.jsonl"
+            recorder.dump(str(dump))
+        spilled = load_recording(str(spill))
+        dumped = load_recording(str(dump))
+        assert spilled == dumped
+        assert spilled, "journal must not be empty"
+        assert not (tmp_path / "dump.jsonl.tmp").exists()
+        topics = {e["topic"] for e in spilled}
+        assert "engine.workflow_finished" in topics
+        assert any(t.startswith("task.active") for t in topics)
+
+    def test_load_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps({"journal_version": 1})
+            + "\n"
+            + json.dumps({"seq": 0, "topic": "t.x"})
+            + "\n"
+            + '{"seq": 1, "topic": "t.y", "tru'
+        )
+        entries = load_recording(str(path))
+        assert [e["seq"] for e in entries] == [0]
+
+    def test_load_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"journal_version": 999}) + "\n")
+        with pytest.raises(ValueError):
+            load_recording(str(path))
+
+    def test_unserialisable_payload_degrades_not_crashes(self):
+        bus = EventBus()
+        recorder = FlightRecorder(bus)
+        bus.publish("t.weird", object())
+        (entry,) = recorder.entries
+        assert entry["topic"] == "t.weird"
+        assert "payload" in entry
+
+
+class TestPostmortem:
+    def run_and_build(self):
+        bus = EventBus()
+        recorder = FlightRecorder(bus)
+        crashy_run(bus, crashes=2, tracer=Tracer())
+        return build_timelines(recorder.entries)
+
+    def test_attempt_ledger_and_causal_arrows(self):
+        timelines = self.run_and_build()
+        (tl,) = timelines.values()
+        assert tl.status == "done"
+        assert tl.nodes == {"task": "done"}
+        assert tl.verdict_counts() == {"failed": 2, "done": 1}
+        first, second, third = tl.attempts
+        assert first.caused_by.startswith("launch:task")
+        assert second.caused_by.startswith("recovery.retry")
+        assert third.caused_by.startswith("recovery.retry")
+        assert first.outcome == "failed" and first.reason
+        assert third.outcome == "done"
+        retries = [
+            d for d in tl.decisions if d.topic == "recovery.retry"
+        ]
+        assert [r.caused_by.split("[")[0] for r in retries] == [
+            "attempt:" + first.job,
+            "attempt:" + second.job,
+        ]
+
+    def test_render_report_mentions_chain(self):
+        timelines = self.run_and_build()
+        text = render_report(timelines)
+        assert "recovery.retry" in text
+        assert "⇐" in text
+        assert "failed(" in text
+
+    def test_render_report_unknown_workflow(self):
+        timelines = self.run_and_build()
+        assert "no workflow" in render_report(timelines, workflow_id="wf-404")
+
+    def test_untraced_recording_builds_without_arrows(self):
+        bus = EventBus()
+        recorder = FlightRecorder(bus)
+        crashy_run(bus, tracer=None)
+        (tl,) = build_timelines(recorder.entries).values()
+        assert len(tl.attempts) == 3
+        assert all(a.caused_by == "" for a in tl.attempts)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode()
+
+
+class TestTelemetryServer:
+    def test_endpoints_reflect_live_run(self):
+        bus = EventBus()
+        observer = RunObserver(bus)
+        tracker = WorkflowStatusTracker(bus)
+        server = TelemetryServer(registry=observer.metrics, tracker=tracker)
+        port = server.start()
+        try:
+            crashy_run(bus, tracer=Tracer())
+            status, text = _get(f"http://127.0.0.1:{port}/metrics")
+            assert status == 200
+            assert "# TYPE task_attempts_total counter" in text
+            status, text = _get(f"http://127.0.0.1:{port}/healthz")
+            assert status == 200 and json.loads(text)["status"] == "ok"
+            status, text = _get(f"http://127.0.0.1:{port}/workflows")
+            workflows = json.loads(text)
+            assert [w["phase"] for w in workflows] == ["done"]
+            wfid = workflows[0]["workflow_id"] or "unscoped"
+            if workflows[0]["workflow_id"]:
+                status, text = _get(
+                    f"http://127.0.0.1:{port}/workflows/{wfid}"
+                )
+                assert status == 200
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://127.0.0.1:{port}/workflows/wf-404")
+            assert err.value.code == 404
+        finally:
+            server.stop()
+
+    def test_tracker_live_phases(self):
+        bus = EventBus()
+        tracker = WorkflowStatusTracker(bus)
+        bus.publish(
+            "engine.node_launched",
+            {"workflow": "w", "workflow_id": "wf-1", "node": "task", "at": 0.0},
+        )
+        (entry,) = tracker.snapshot()
+        assert entry["phase"] == "running"
+        assert entry["running_nodes"] == ["task"]
+        bus.publish(
+            "engine.node_completed",
+            {
+                "workflow": "w",
+                "workflow_id": "wf-1",
+                "node": "task",
+                "status": "done",
+                "at": 3.0,
+            },
+        )
+        bus.publish(
+            "engine.workflow_finished",
+            {"workflow": "w", "workflow_id": "wf-1", "status": "done", "at": 3.0},
+        )
+        (entry,) = tracker.snapshot()
+        assert entry["phase"] == "done"
+        assert entry["running_nodes"] == []
+        assert entry["finished_at"] == 3.0
+
+
+class TestManyInstancesExportRoundTrip:
+    N = 100
+
+    def test_labelled_series_survive_both_exporters(self):
+        from repro.grid import GridConfig, SimulatedGrid
+
+        grid = SimulatedGrid(config=GridConfig(heartbeats=False))
+        grid.add_host(RELIABLE("h1"))
+        grid.install("h1", "task", FixedDurationTask(10.0))
+        bus = EventBus()
+        observer = RunObserver(bus)
+        host = EngineHost(
+            grid, reactor=grid.reactor, bus=bus, tracer=Tracer()
+        )
+        wf = single_task_workflow()
+        ids = host.submit_many(wf, count=self.N)
+        results = host.wait_all(timeout=1e7)
+        assert len(results) == self.N
+        assert all(r.succeeded for r in results.values())
+
+        # Prometheus text: every instance's workflow_id label present
+        # exactly once on the per-run counter, no drops or collisions.
+        text = prometheus_text(observer.metrics)
+        for wfid in ids:
+            assert (
+                text.count(
+                    f'engine_workflow_runs_total{{status="done",'
+                    f'workflow_id="{wfid}"}} 1.0'
+                )
+                == 1
+            )
+
+        # JSON-lines: the trailing metrics snapshot round-trips the same
+        # label space.
+        lines = list(jsonl_lines(metrics=observer.metrics))
+        snapshot = json.loads(lines[-1])
+        assert snapshot["kind"] == "metrics"
+        runs = snapshot["families"]["engine_workflow_runs_total"]
+        label_values = {
+            series["labels"]["workflow_id"] for series in runs["series"]
+        }
+        assert label_values == set(ids)
+
+
+class TestScrapers:
+    def test_bus_and_kernel_scrapes(self):
+        bus = EventBus()
+        crashy_run(bus)
+        registry = MetricsRegistry()
+        scrape_bus(registry, bus)
+        assert registry.value("bus_publishes") == bus.stats()["publishes"]
+        assert registry.value("bus_publishes") > 0
+        hit_rate = registry.value("bus_route_cache_hit_rate")
+        assert 0.0 <= hit_rate <= 1.0
+
+        from repro.grid import SimKernel
+
+        kernel = SimKernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        scrape_kernel(registry, kernel)
+        assert registry.value("sim_events_processed") == 1.0
+
+    def test_bus_stats_count_publishes(self):
+        bus = EventBus()
+        before = bus.stats()["publishes"]
+        bus.publish("a.b", {})
+        bus.publish("a.c", {})
+        assert bus.stats()["publishes"] == before + 2
+
+
+class TestChromeTraceFlows:
+    def test_flow_events_pair_decision_to_attempt(self):
+        bus = EventBus()
+        observer = RunObserver(bus)
+        crashy_run(bus, crashes=2, tracer=Tracer())
+        payload = chrome_trace(observer.spans)
+        flows = [
+            e for e in payload["traceEvents"] if e.get("ph") in ("s", "f")
+        ]
+        assert flows, "traced spans must yield causal flow events"
+        starts = [e for e in flows if e["ph"] == "s"]
+        finishes = [e for e in flows if e["ph"] == "f"]
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+        for finish in finishes:
+            start = next(e for e in starts if e["id"] == finish["id"])
+            assert finish["ts"] >= start["ts"]
+
+    def test_untraced_spans_yield_no_flows(self):
+        bus = EventBus()
+        observer = RunObserver(bus)
+        crashy_run(bus, tracer=None)
+        payload = chrome_trace(observer.spans)
+        assert not any(
+            e.get("ph") in ("s", "f") for e in payload["traceEvents"]
+        )
