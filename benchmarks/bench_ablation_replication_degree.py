@@ -17,7 +17,7 @@ from repro.sim import (
     SimulationParams,
     ascii_chart,
     format_table,
-    sample_replication,
+    sweep,
 )
 
 N_SWEEP = (1, 2, 3, 4, 6, 8, 12, 16)
@@ -29,19 +29,23 @@ def generate():
     latency_series = []
     cpu_series = []
     for mttf in MTTFS:
-        means = []
-        for n in N_SWEEP:
-            params = SimulationParams(mttf=mttf, replicas=n, runs=RUNS)
-            means.append(float(sample_replication(params).mean()))
-        xs = tuple(float(n) for n in N_SWEEP)
-        latency_series.append(
-            Series(label=f"E[T], MTTF={mttf:g}", x=xs, y=tuple(means))
+        # Declarative sweep over the replica count: the (technique, params)
+        # cells fan out through the same per-point pool/cache machinery as
+        # the MTTF sweeps (`jobs=`/`cache=` work here too).
+        latency = sweep(
+            N_SWEEP,
+            technique="replication",
+            params_of=lambda n, mttf=mttf: SimulationParams(
+                mttf=mttf, replicas=int(n), runs=RUNS
+            ),
+            label=f"E[T], MTTF={mttf:g}",
         )
+        latency_series.append(latency)
         cpu_series.append(
             Series(
                 label=f"N*E[T], MTTF={mttf:g}",
-                x=xs,
-                y=tuple(n * m for n, m in zip(N_SWEEP, means)),
+                x=latency.x,
+                y=tuple(n * m for n, m in zip(N_SWEEP, latency.y)),
             )
         )
     return latency_series, cpu_series

@@ -1,0 +1,219 @@
+"""Adaptive variance-reduced Monte-Carlo vs the fixed-budget paper sweep.
+
+Not a paper figure: a systems benchmark tracking the sample efficiency of
+the adaptive sampling engine (:mod:`repro.sim.adaptive`).  The paper's
+standard experiment spends :data:`~_common.PAPER_RUNS` samples on every
+(technique, MTTF) cell; the precision that budget actually *guarantees*
+grid-wide is its worst cell's relative CI half-width.  Four arms evaluate
+the same (4 techniques × 10 MTTFs) grid to that guaranteed precision:
+
+* ``fixed``               — the classic fixed-budget sweep (the baseline:
+  every cell pays the full budget, easy cells are massively oversampled);
+* ``adaptive``            — geometric batches with CI-targeted stopping;
+* ``adaptive+antithetic`` — the same, drawing mirrored uniform pairs;
+* ``adaptive+crn``        — the same, all MTTF points of a technique
+  replaying one shared uniform pool.
+
+Every adaptive arm must deliver the target precision in **≥ 5× fewer
+samples** than the fixed budget — the CI perf-smoke gate — and all arm
+means must agree with the fixed-budget means within combined confidence
+intervals (adaptivity and variance reduction change efficiency, never
+the estimand).  A side study re-estimates the retrying-vs-checkpointing
+crossover across independent seeds with and without CRN and reports the
+spread (informational: CRN's win concentrates in curve *differences*,
+which scalar gates capture poorly).
+
+``REPRO_BENCH_ADAPTIVE_RUNS`` scales the fixed budget down for CI smoke
+runs.  Results land in ``results/BENCH_adaptive_mc.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+
+from _common import PAPER_RUNS, emit_results, once
+
+from repro.sim import (
+    PAPER_BASELINE,
+    PAPER_MTTF_SWEEP,
+    TECHNIQUES,
+    CITarget,
+    crossover,
+    evaluate_grid,
+    sweep_mttf,
+)
+
+MTTFS = PAPER_MTTF_SWEEP
+FIXED_RUNS = int(os.environ.get("REPRO_BENCH_ADAPTIVE_RUNS", str(PAPER_RUNS)))
+
+#: Adaptive floor per cell; the budget ceiling is deliberately generous
+#: (4× the fixed budget) so "equal precision" is never achieved by
+#: silently truncating a hard cell.
+MIN_RUNS = max(2, min(1_000, FIXED_RUNS // 10))
+MAX_RUNS = 4 * FIXED_RUNS
+
+#: CI perf-smoke gate: every adaptive arm must reach the fixed budget's
+#: guaranteed (worst-cell) precision in at least this many times fewer
+#: samples.
+SAMPLE_REDUCTION_FLOOR = 5.0
+
+#: Crossover-stability study: replications per mode (each on its own seed).
+CROSSOVER_SEEDS = 5
+
+ARMS = (
+    ("adaptive", None),
+    ("adaptive+antithetic", "antithetic"),
+    ("adaptive+crn", "crn"),
+)
+
+
+def _evaluate(params, target=None, variance_reduction=None, runs=None):
+    start = time.perf_counter()
+    grid = evaluate_grid(
+        params,
+        MTTFS,
+        TECHNIQUES,
+        target=target,
+        variance_reduction=variance_reduction,
+        runs=runs,
+    )
+    return grid, time.perf_counter() - start
+
+
+def _crossover_spread(target) -> dict:
+    """Std of the retrying-vs-checkpointing crossover estimate across
+    independent seeds, with and without CRN (same per-cell precision)."""
+    spread = {}
+    for label, mode in (("independent", None), ("crn", "crn")):
+        estimates = []
+        for i in range(CROSSOVER_SEEDS):
+            params = dataclasses.replace(
+                PAPER_BASELINE.with_runs(FIXED_RUNS),
+                seed=PAPER_BASELINE.seed + 1_000_003 * (i + 1),
+            )
+            series = sweep_mttf(
+                params,
+                MTTFS,
+                ("retrying", "checkpointing"),
+                target_ci=target,
+                variance_reduction=mode,
+            )
+            x = crossover(series["retrying"], series["checkpointing"])
+            if x is not None:
+                estimates.append(x)
+        spread[label] = {
+            "estimates": estimates,
+            "mean": float(np.mean(estimates)) if estimates else None,
+            "std": float(np.std(estimates)) if estimates else None,
+        }
+    return spread
+
+
+def generate():
+    params = PAPER_BASELINE.with_runs(FIXED_RUNS)
+
+    fixed, fixed_s = _evaluate(params, runs=FIXED_RUNS)
+    fixed_total = fixed.samples_used
+    # The precision the fixed budget guarantees across the grid is its
+    # worst cell's relative half-width — that is the matched target every
+    # adaptive arm must deliver everywhere.
+    target_rel = max(c.summary.rel_halfwidth for c in fixed.cells.values())
+    target = CITarget(rel=target_rel, min_runs=MIN_RUNS, max_runs=MAX_RUNS)
+
+    arms = {}
+    for label, mode in ARMS:
+        grid, elapsed = _evaluate(params, target=target, variance_reduction=mode)
+        worst_delivered = max(
+            c.summary.rel_halfwidth for c in grid.cells.values()
+        )
+        disagreements = sum(
+            1
+            for cell, c in grid.cells.items()
+            if abs(c.summary.mean - fixed.cells[cell].summary.mean)
+            > 3.0 * (c.summary.ci_halfwidth + fixed.cells[cell].summary.ci_halfwidth)
+        )
+        arms[label] = {
+            "variance_reduction": mode,
+            "samples": grid.samples_used,
+            "seconds": elapsed,
+            "sample_reduction_vs_fixed": fixed_total / grid.samples_used,
+            "all_converged": grid.all_converged,
+            "worst_rel_halfwidth": worst_delivered,
+            "mean_ess_ratio": float(
+                np.mean(
+                    [c.summary.ess / c.summary.n for c in grid.cells.values()]
+                )
+            ),
+            "cells_disagreeing_with_fixed": disagreements,
+        }
+
+    crossover_target = CITarget(
+        rel=max(target_rel, 0.02), min_runs=MIN_RUNS, max_runs=MAX_RUNS
+    )
+    return {
+        "techniques": list(TECHNIQUES),
+        "mttfs": list(MTTFS),
+        "fixed_runs_per_cell": FIXED_RUNS,
+        "fixed_samples_total": fixed_total,
+        "fixed_seconds": fixed_s,
+        "target_rel_ci": target_rel,
+        "min_runs": MIN_RUNS,
+        "max_runs": MAX_RUNS,
+        "arms": arms,
+        "crossover_stability": _crossover_spread(crossover_target),
+    }
+
+
+def test_adaptive_mc_sample_efficiency(benchmark):
+    payload = once(benchmark, generate)
+    lines = [
+        f"adaptive Monte-Carlo vs fixed budget, "
+        f"{len(payload['techniques'])} techniques × "
+        f"{len(payload['mttfs'])} MTTFs:",
+        f"  fixed budget   {payload['fixed_runs_per_cell']:>8} runs/cell, "
+        f"{payload['fixed_samples_total']:>9} total "
+        f"({payload['fixed_seconds']:.2f}s); guaranteed rel CI "
+        f"{payload['target_rel_ci']:.4f} (worst cell)",
+    ]
+    for label, arm in payload["arms"].items():
+        lines.append(
+            f"  {label:<22} {arm['samples']:>9} samples "
+            f"({arm['sample_reduction_vs_fixed']:.1f}x fewer, "
+            f"{arm['seconds']:.2f}s), worst rel CI "
+            f"{arm['worst_rel_halfwidth']:.4f}, "
+            f"mean ess/n {arm['mean_ess_ratio']:.2f}"
+        )
+    stability = payload["crossover_stability"]
+    for label in ("independent", "crn"):
+        s = stability[label]
+        if s["std"] is not None:
+            lines.append(
+                f"  crossover(retrying, checkpointing) {label:<12} "
+                f"mean {s['mean']:.2f}, std {s['std']:.3f} "
+                f"({CROSSOVER_SEEDS} seeds)"
+            )
+    emit_results(
+        "adaptive_mc",
+        "\n".join(lines),
+        json_payload=payload,
+        json_name="BENCH_adaptive_mc",
+    )
+
+    for label, arm in payload["arms"].items():
+        # Equal precision is a precondition of the sample-count claim:
+        # every cell must actually converge to the matched target.
+        assert arm["all_converged"], (label, arm)
+        assert (
+            arm["worst_rel_halfwidth"] <= payload["target_rel_ci"] * 1.0001
+        ), (label, arm)
+        # The headline gate: matched precision at ≥5× fewer samples.
+        assert (
+            arm["sample_reduction_vs_fixed"] >= SAMPLE_REDUCTION_FLOOR
+        ), (label, arm)
+        # Unbiasedness in practice: arm means must agree with the
+        # fixed-budget means within (generously combined) 99% intervals.
+        assert arm["cells_disagreeing_with_fixed"] == 0, (label, arm)

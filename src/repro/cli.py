@@ -512,18 +512,64 @@ def _mc_techniques(value: str) -> list[str]:
     return techniques
 
 
+def _mc_variance_reduction(args: argparse.Namespace) -> str | None:
+    """Resolve ``--antithetic``/``--crn`` to a variance_reduction mode."""
+    from .errors import SimulationError
+
+    if args.antithetic and args.crn:
+        raise SimulationError(
+            "--antithetic and --crn are mutually exclusive"
+        )
+    if args.antithetic:
+        return "antithetic"
+    if args.crn:
+        return "crn"
+    return None
+
+
+def _mc_ci_target(args: argparse.Namespace):
+    """Build the :class:`CITarget` for ``--target-ci`` (None when unset).
+
+    ``--runs`` doubles as the adaptive budget ceiling; ``--min-runs`` /
+    ``--max-runs`` override the derived bounds.
+    """
+    if args.target_ci is None:
+        return None
+    from .sim import CITarget
+
+    min_runs = args.min_runs
+    if min_runs is None:
+        min_runs = max(2, min(1_000, args.runs))
+    max_runs = args.max_runs if args.max_runs is not None else args.runs
+    return CITarget(
+        rel=args.target_ci,
+        min_runs=min_runs,
+        max_runs=max(max_runs, min_runs),
+    )
+
+
 def cmd_mc(args: argparse.Namespace) -> int:
     import json
 
+    from .errors import SimulationError
     from .sim import (
         SampleCache,
         SimulationParams,
+        adaptive_samples,
         engine_samples,
         sample_technique,
         summarize,
     )
 
     techniques = _mc_techniques(args.technique)
+    variance_reduction = _mc_variance_reduction(args)
+    target = _mc_ci_target(args)
+    if args.engine and variance_reduction is not None:
+        raise SimulationError(
+            "--antithetic/--crn apply to the vectorised samplers only; "
+            "the engine path draws no invertible uniforms to mirror or "
+            "share (drop --engine, or keep just --target-ci)"
+        )
     params = SimulationParams(
         mttf=args.mttf,
         downtime=args.downtime,
@@ -539,8 +585,10 @@ def cmd_mc(args: argparse.Namespace) -> int:
         from .obs import MetricsRegistry
 
         registry = MetricsRegistry()
+    adaptive = target is not None or variance_reduction is not None
     rows = []
     for technique in techniques:
+        converged = True
         if args.engine:
             samples = engine_samples(
                 technique,
@@ -549,7 +597,27 @@ def cmd_mc(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 cache=cache,
                 metrics=registry,
+                target_ci=target,
             )
+            if target is None:
+                summary = summarize(samples)
+            else:
+                # engine_samples returns a bare vector; recompute the
+                # stopping predicate so "budget exhausted" is reported
+                # honestly.
+                summary = summarize(samples, confidence=target.confidence)
+                converged = target.met(summary)
+        elif adaptive:
+            cell = adaptive_samples(
+                technique,
+                params,
+                target=target,
+                variance_reduction=variance_reduction,
+                runs=args.runs,
+                cache=cache,
+            )
+            summary = cell.summary
+            converged = cell.converged
         elif cache is not None:
             key = cache.key(
                 kind="sampler",
@@ -562,9 +630,10 @@ def cmd_mc(args: argparse.Namespace) -> int:
             if samples is None:
                 samples = sample_technique(technique, params, runs=args.runs)
                 cache.store(key, samples)
+            summary = summarize(samples)
         else:
             samples = sample_technique(technique, params, runs=args.runs)
-        summary = summarize(samples)
+            summary = summarize(samples)
         rows.append(
             {
                 "technique": technique,
@@ -572,6 +641,9 @@ def cmd_mc(args: argparse.Namespace) -> int:
                 "runs": summary.n,
                 "mean": summary.mean,
                 "ci99_halfwidth": summary.ci_halfwidth,
+                "rel_ci": summary.rel_halfwidth,
+                "ess": summary.ess,
+                "converged": converged,
                 "p50": summary.p50,
                 "p95": summary.p95,
             }
@@ -583,20 +655,118 @@ def cmd_mc(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         mode = "engine-level" if args.engine else "standalone sampler"
+        budget = (
+            f"target_ci={args.target_ci:g} (≤{args.runs} runs)"
+            if target is not None
+            else f"runs={args.runs}"
+        )
+        if variance_reduction is not None:
+            budget += f", {variance_reduction}"
         print(
             f"E[T] via {mode} Monte-Carlo "
             f"(F={params.failure_free_time:g}, MTTF={params.mttf:g}, "
-            f"D={params.downtime:g}, runs={args.runs}, "
+            f"D={params.downtime:g}, {budget}, "
             f"jobs={'auto' if args.jobs is None else args.jobs})"
         )
         for row in rows:
+            detail = f"(p50={row['p50']:.2f}, p95={row['p95']:.2f}"
+            if adaptive or args.engine and target is not None:
+                detail += f", n={row['runs']}"
+                if row["ess"] > row["runs"]:
+                    detail += f", eff.n={row['ess']:.0f}"
+                if not row["converged"]:
+                    detail += ", budget exhausted"
+            detail += ")"
             print(
                 f"  {row['technique']:28s} "
                 f"{row['mean']:10.3f} ± {row['ci99_halfwidth']:.3f}  "
-                f"(p50={row['p50']:.2f}, p95={row['p95']:.2f})"
+                f"{detail}"
             )
         if registry is not None:
             _print_mc_stats(registry, techniques, engine_mode=args.engine)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import SimulationError
+    from .sim import (
+        PAPER_MTTF_SWEEP,
+        SampleCache,
+        SimulationParams,
+        crossover,
+        format_table,
+        sweep_mttf,
+        to_csv,
+    )
+
+    techniques = _mc_techniques(args.technique)
+    variance_reduction = _mc_variance_reduction(args)
+    target = _mc_ci_target(args)
+    if args.mttfs:
+        try:
+            mttfs = [float(x) for x in args.mttfs.split(",") if x.strip()]
+        except ValueError:
+            raise SimulationError(
+                f"--mttfs must be a comma-separated list of numbers, "
+                f"got {args.mttfs!r}"
+            ) from None
+        if not mttfs:
+            raise SimulationError("--mttfs resolved to an empty grid")
+    else:
+        mttfs = list(PAPER_MTTF_SWEEP)
+    params = SimulationParams(
+        downtime=args.downtime,
+        runs=args.runs,
+        seed=args.seed,
+    )
+    series = sweep_mttf(
+        params,
+        mttfs,
+        techniques,
+        runs=args.runs,
+        jobs=args.jobs,
+        cache=SampleCache() if args.cache else None,
+        target_ci=target,
+        variance_reduction=variance_reduction,
+    )
+    ordered = [series[t] for t in techniques]
+    if args.json:
+        payload = {
+            t: {
+                "x": list(series[t].x),
+                "mean": list(series[t].y),
+                "ci99_halfwidth": [
+                    s.ci_halfwidth for s in series[t].summaries
+                ],
+                "n": [s.n for s in series[t].summaries],
+                "ess": [s.ess for s in series[t].summaries],
+            }
+            for t in techniques
+        }
+        print(json.dumps(payload, indent=2))
+    elif args.csv:
+        print(to_csv("mttf", ordered))
+    else:
+        mode = "fixed budget"
+        if target is not None:
+            mode = f"target_ci={args.target_ci:g} (≤{args.runs} runs/point)"
+        if variance_reduction is not None:
+            mode += f", {variance_reduction}"
+        print(
+            f"E[T] vs MTTF (D={params.downtime:g}, seed={params.seed}, "
+            f"{mode})"
+        )
+        print(format_table("MTTF", ordered))
+        if target is not None or variance_reduction is not None:
+            drawn = sum(s.n for t in techniques for s in series[t].summaries)
+            print(f"samples used: {drawn}")
+        for i, a in enumerate(techniques):
+            for b in techniques[i + 1 :]:
+                x = crossover(series[a], series[b])
+                if x is not None:
+                    print(f"crossover: {a} drops below {b} at MTTF ≈ {x:.2f}")
     return 0
 
 
@@ -883,7 +1053,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect and print run statistics: per-technique attempt "
         "histograms (with --engine) and pool/disk cache hit rates",
     )
+
+    def add_adaptive_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--target-ci",
+            type=float,
+            default=None,
+            metavar="REL",
+            help="stop sampling once the 99%% CI half-width is within REL "
+            "of the mean (adaptive geometric batches; --runs becomes the "
+            "budget ceiling)",
+        )
+        p.add_argument(
+            "--min-runs",
+            type=int,
+            default=None,
+            help="adaptive floor: never stop before this many runs "
+            "(default: min(1000, --runs))",
+        )
+        p.add_argument(
+            "--max-runs",
+            type=int,
+            default=None,
+            help="adaptive ceiling: never draw more than this many runs "
+            "(default: --runs)",
+        )
+        p.add_argument(
+            "--antithetic",
+            action="store_true",
+            help="antithetic variance reduction: mirror every uniform "
+            "draw (u, 1-u) through the inverse CDF; unbiased, with a "
+            "pair-aware CI and an effective-sample-size report",
+        )
+        p.add_argument(
+            "--crn",
+            action="store_true",
+            help="common random numbers: all MTTF points of a technique "
+            "replay one uniform pool, so curve differences and "
+            "crossovers are estimated on positively correlated noise",
+        )
+
+    add_adaptive_options(p_mc)
     p_mc.set_defaults(fn=cmd_mc)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="E[T] vs MTTF sweep per technique (the paper's Figures 10-12)",
+    )
+    p_sweep.add_argument(
+        "--technique",
+        default="all",
+        help="failure-handling technique(s), as for mc (default: all)",
+    )
+    p_sweep.add_argument(
+        "--mttfs",
+        default=None,
+        help="comma-separated MTTF grid (default: the paper's 10..100)",
+    )
+    p_sweep.add_argument(
+        "--downtime", type=float, default=0.0, help="mean downtime D"
+    )
+    p_sweep.add_argument(
+        "--runs",
+        type=int,
+        default=10_000,
+        help="Monte-Carlo runs per (technique, MTTF) point",
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the fixed-budget path (0 = all cores)",
+    )
+    p_sweep.add_argument(
+        "--seed", type=int, default=20030623, help="root RNG seed"
+    )
+    p_sweep.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse/store sample vectors in the content-addressed cache",
+    )
+    p_sweep.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_sweep.add_argument(
+        "--csv", action="store_true", help="CSV output (x, mean, ci columns)"
+    )
+    add_adaptive_options(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the Monte-Carlo sample cache"

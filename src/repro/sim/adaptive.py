@@ -1,0 +1,728 @@
+"""Adaptive, variance-reduced Monte-Carlo sampling.
+
+The paper's standard experiment (E[T] vs MTTF per technique, Figures
+10–12) spends an identical fixed run budget on every (technique, MTTF,
+downtime) cell even though the confidence-interval width varies by orders
+of magnitude across the grid: checkpointing at MTTF = 100 is almost
+deterministic while plain retrying at MTTF = 10 is heavy-tailed.  This
+module draws *fewer, smarter* samples:
+
+CI-targeted adaptive stopping
+    :class:`CITarget` declares the precision a cell must reach — a
+    relative (``rel``) and/or absolute (``abs``) CI half-width — bounded
+    by ``min_runs``/``max_runs``.  Cells are sampled in geometric batches
+    (``growth`` ×, starting at ``min_runs``) and stop as soon as the
+    estimate meets the target, so easy cells cost ``min_runs`` draws
+    while only the hardest cells spend the full budget.
+
+Antithetic variates
+    :class:`AntitheticGenerator` duck-types the ``Generator`` methods the
+    samplers consume (``exponential``/``geometric``/``random``) but
+    produces each draw block as *m* fresh uniforms followed by their
+    mirrors ``1 − u``, pushed through the inverse CDF.  Every marginal
+    draw is exact, so the estimator is unbiased; paired runs are
+    negatively correlated, so the pair-mean estimator
+    (:func:`pair_means`) has lower variance than i.i.d. sampling and the
+    CI target is reached with fewer raw draws.  The delivered
+    :class:`~repro.sim.stats.Summary` carries the correlation-aware CI
+    and the effective sample size ``ess = Var(x)·n_pairs/Var(pairs)``.
+
+Common random numbers (CRN)
+    :class:`CRNGenerator` replays one technique-wide
+    :class:`UniformPool` from position zero for every MTTF point,
+    scaling through the inverse CDF.  Per-point estimates are unchanged
+    in distribution, but *differences* between points — curve shapes and
+    :func:`~repro.sim.runner.crossover` estimates — are computed on
+    positively correlated noise and are far more stable across the grid.
+
+Fused grid evaluation
+    :func:`evaluate_grid` runs the whole (technique × MTTF) grid as one
+    round-based batched evaluation: each round draws the next geometric
+    batch for every still-unconverged cell, sharing the CRN pool and the
+    per-round RNG streams across cells so generator spawning and pool
+    growth are amortised over the grid instead of paid per point.
+
+Everything here is opt-in: with ``variance_reduction=None`` and no CI
+target, callers fall through to the untouched samplers of
+:mod:`repro.sim.samplers` and results stay bit-identical to fixed-budget
+sampling.  Batches are seeded ``SeedSequence(entropy=seed,
+spawn_key=(salt, batch))`` — disjoint from the single-shot
+``spawn_key=(salt,)`` streams — so adaptive estimates are deterministic
+in their inputs and cacheable (:mod:`repro.sim.cache` kind
+``"adaptive"``; the key deliberately excludes ``max_runs`` so a cached
+cell that satisfies the CI target is a hit regardless of the requested
+budget).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from .cache import resolve_cache
+from .params import SimulationParams
+from .samplers import EXTENDED_TECHNIQUES, TECHNIQUES, sample_technique
+from .stats import Summary, summarize, z_value
+
+__all__ = [
+    "CITarget",
+    "CellEstimate",
+    "GridEvaluation",
+    "AntitheticGenerator",
+    "CRNGenerator",
+    "UniformPool",
+    "VR_MODES",
+    "adaptive_samples",
+    "evaluate_grid",
+    "pair_means",
+    "resolve_variance_reduction",
+]
+
+#: Accepted ``variance_reduction=`` spellings.
+VR_MODES = (None, "antithetic", "crn")
+
+#: Technique → RNG salt, matching the single-shot streams hardcoded in
+#: :mod:`repro.sim.samplers` (``spawn_key=(salt,)``); adaptive batches use
+#: ``spawn_key=(salt, batch_index)`` and therefore never collide.
+_SALTS = {
+    "retrying": 1,
+    "checkpointing": 2,
+    "replication": 3,
+    "replication_checkpointing": 4,
+    "backoff_retry": 5,
+}
+
+#: Spawn-key tail marking the CRN uniform pool's stream (prime, far from
+#: any batch index a realistic schedule reaches).
+_CRN_STREAM = 104_729
+
+#: Uniforms drawn per pool extension (amortises generator calls).
+_POOL_BLOCK = 1 << 16
+
+#: One below the largest double < 1, the top of ``random``'s [0, 1) range.
+_ALMOST_ONE = np.nextafter(1.0, 0.0)
+
+
+def resolve_variance_reduction(mode: str | None) -> str | None:
+    """Normalise a ``variance_reduction=`` argument (None/"antithetic"/
+    "crn"; the CLI's ``--antithetic``/``--crn`` map onto it)."""
+    if mode is not None and mode not in VR_MODES:
+        raise SimulationError(
+            f"variance_reduction must be one of {VR_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class CITarget:
+    """Precision contract for one Monte-Carlo estimate.
+
+    Sampling stops at the first geometric batch boundary where the CI
+    half-width is at or below ``rel * |mean|`` (when ``rel`` is set) or
+    ``abs`` (when set; either criterion suffices), never before
+    ``min_runs`` draws and never beyond ``max_runs``.
+    """
+
+    #: Relative CI half-width target (half-width / |mean|).
+    rel: float | None = 0.01
+    #: Absolute CI half-width target (same units as the samples).
+    abs: float | None = None
+    confidence: float = 0.99
+    min_runs: int = 1_000
+    max_runs: int = 200_000
+    #: Geometric batch growth: after *n* total draws the next batch brings
+    #: the total to ``ceil(n * growth)`` (capped at ``max_runs``).
+    growth: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rel is None and self.abs is None:
+            raise SimulationError("CITarget needs rel and/or abs set")
+        if self.rel is not None and self.rel <= 0:
+            raise SimulationError(f"rel must be positive, got {self.rel!r}")
+        if self.abs is not None and self.abs <= 0:
+            raise SimulationError(f"abs must be positive, got {self.abs!r}")
+        if self.min_runs < 2:
+            raise SimulationError(
+                f"min_runs must be >= 2, got {self.min_runs!r}"
+            )
+        if self.max_runs < self.min_runs:
+            raise SimulationError(
+                f"max_runs ({self.max_runs!r}) must be >= min_runs "
+                f"({self.min_runs!r})"
+            )
+        if self.growth <= 1.0:
+            raise SimulationError(f"growth must be > 1, got {self.growth!r}")
+        z_value(self.confidence)  # validate eagerly
+
+    @classmethod
+    def of(cls, value: "CITarget | float | None") -> "CITarget | None":
+        """Normalise a ``target_ci=`` argument: ``None`` stays ``None``, a
+        bare number is a relative half-width target with the default
+        bounds, a :class:`CITarget` passes through."""
+        if value is None or isinstance(value, CITarget):
+            return value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return cls(rel=float(value))
+        raise SimulationError(
+            f"target_ci must be a CITarget, a number or None, "
+            f"got {type(value).__name__}"
+        )
+
+    def threshold(self, mean: float) -> float:
+        """The half-width this estimate must reach, given its mean."""
+        candidates = []
+        if self.rel is not None:
+            candidates.append(self.rel * abs(mean))
+        if self.abs is not None:
+            candidates.append(self.abs)
+        return max(candidates)
+
+    def met(self, summary: Summary) -> bool:
+        if summary.ci_halfwidth == 0.0:
+            return True
+        return summary.ci_halfwidth <= self.threshold(summary.mean)
+
+    def batch_sizes(self) -> list[int]:
+        """The geometric batch schedule up to ``max_runs``."""
+        sizes: list[int] = []
+        total = 0
+        while total < self.max_runs:
+            nxt = (
+                self.min_runs
+                if total == 0
+                else min(self.max_runs, math.ceil(total * self.growth))
+            )
+            sizes.append(nxt - total)
+            total = nxt
+        return sizes
+
+    def boundaries_for(self, n: int) -> tuple[int, ...]:
+        """Reconstruct the batch sizes that produced an *n*-draw vector.
+
+        The schedule depends only on ``min_runs``/``growth`` (both part of
+        the cache key); a stored vector's final batch may have been
+        truncated at *its* ``max_runs``, which the replay reproduces by
+        capping at *n*.
+        """
+        sizes: list[int] = []
+        total = 0
+        while total < n:
+            nxt = (
+                self.min_runs
+                if total == 0
+                else math.ceil(total * self.growth)
+            )
+            nxt = min(nxt, n)
+            sizes.append(nxt - total)
+            total = nxt
+        return tuple(sizes)
+
+
+# -- variance-reduction kernels ------------------------------------------------
+
+
+def _flat_size(size) -> tuple[int, tuple[int, ...] | None]:
+    """Normalise a numpy ``size`` argument to (count, reshape-target)."""
+    if size is None:
+        return 1, None
+    if isinstance(size, tuple):
+        return int(np.prod(size, dtype=np.int64)), size
+    return int(size), None
+
+
+def _shape(values: np.ndarray, size) -> np.ndarray:
+    if isinstance(size, tuple):
+        return values.reshape(size)
+    if size is None:
+        return values[0]
+    return values
+
+
+def _inverse_exponential(u: np.ndarray, scale: float) -> np.ndarray:
+    return -scale * np.log1p(-u)
+
+
+def _inverse_geometric(u: np.ndarray, p: float) -> np.ndarray:
+    """Inverse-CDF geometric (trials to first success, >= 1), matching
+    ``Generator.geometric``'s support."""
+    if p >= 1.0:
+        return np.ones(u.shape, dtype=np.int64)
+    return (np.floor(np.log1p(-u) / math.log1p(-p)) + 1).astype(np.int64)
+
+
+class AntitheticGenerator:
+    """Duck-typed ``Generator`` producing antithetic uniform blocks.
+
+    Each draw of *n* values consumes ``ceil(n/2)`` fresh uniforms ``u``
+    and appends their mirrors ``1 − u`` (the antithetic second half), then
+    applies the requested inverse CDF.  Run *i* of a batch therefore
+    pairs with run ``i + ceil(n/2)`` on mirrored noise — the pairing
+    :func:`pair_means` exploits.  Marginally every draw is exact, so any
+    sampler consuming this generator stays unbiased.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def _uniforms(self, n: int) -> np.ndarray:
+        fresh = (n + 1) // 2
+        u = self._rng.random(fresh)
+        out = np.concatenate([u, 1.0 - u[: n - fresh]])
+        # 1 - 0.0 == 1.0 falls outside random()'s [0, 1) contract; clip
+        # rather than bias every transform with an epsilon.
+        return np.minimum(out, _ALMOST_ONE, out=out)
+
+    def exponential(self, scale: float = 1.0, size=None) -> np.ndarray:
+        n, _ = _flat_size(size)
+        return _shape(_inverse_exponential(self._uniforms(n), scale), size)
+
+    def geometric(self, p: float, size=None) -> np.ndarray:
+        n, _ = _flat_size(size)
+        return _shape(_inverse_geometric(self._uniforms(n), p), size)
+
+    def random(self, size=None) -> np.ndarray:
+        n, _ = _flat_size(size)
+        return _shape(self._uniforms(n), size)
+
+
+class UniformPool:
+    """Lazily-extended pool of uniforms shared by every MTTF point of a
+    technique under CRN.  Deterministic in its seed: position *i* always
+    holds the same uniform, so any two consumers reading from position 0
+    see identical noise regardless of how far the other has read."""
+
+    def __init__(self, seed_seq: np.random.SeedSequence) -> None:
+        self._rng = np.random.default_rng(seed_seq)
+        self._data = np.empty(0)
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    def take(self, start: int, n: int) -> np.ndarray:
+        needed = start + n - self._data.size
+        if needed > 0:
+            block = self._rng.random(max(needed, _POOL_BLOCK))
+            self._data = np.concatenate([self._data, block])
+        return self._data[start : start + n]
+
+
+class CRNGenerator:
+    """Duck-typed ``Generator`` replaying a shared :class:`UniformPool`.
+
+    Each point of a sweep gets its own cursor starting at 0, so all
+    points consume the *same* uniform sequence in call order and differ
+    only through the inverse-CDF parameters — positively correlating the
+    resulting curves and stabilising their differences.
+    """
+
+    def __init__(self, pool: UniformPool) -> None:
+        self._pool = pool
+        self.cursor = 0
+
+    def _uniforms(self, n: int) -> np.ndarray:
+        u = self._pool.take(self.cursor, n)
+        self.cursor += n
+        return u
+
+    def exponential(self, scale: float = 1.0, size=None) -> np.ndarray:
+        n, _ = _flat_size(size)
+        return _shape(_inverse_exponential(self._uniforms(n), scale), size)
+
+    def geometric(self, p: float, size=None) -> np.ndarray:
+        n, _ = _flat_size(size)
+        return _shape(_inverse_geometric(self._uniforms(n), p), size)
+
+    def random(self, size=None) -> np.ndarray:
+        n, _ = _flat_size(size)
+        return _shape(self._uniforms(n).copy(), size)
+
+
+def pair_means(samples: np.ndarray) -> np.ndarray:
+    """Antithetic pair-mean vector of one batch.
+
+    Pairs element *i* with ``i + ceil(n/2)`` — the mirror layout of
+    :class:`AntitheticGenerator` — and keeps an odd batch's unpaired
+    middle element as its own singleton, preserving the sample mean
+    exactly.
+    """
+    n = samples.size
+    fresh = (n + 1) // 2
+    pairs = n - fresh
+    out = (samples[:pairs] + samples[fresh:]) / 2.0
+    if fresh > pairs:
+        out = np.concatenate([out, samples[pairs:fresh]])
+    return out
+
+
+def _vr_summary(
+    samples: np.ndarray,
+    boundaries: tuple[int, ...],
+    mode: str | None,
+    confidence: float,
+) -> Summary:
+    """Variance-reduction-aware summary of a (possibly batched) vector.
+
+    Plain and CRN draws are i.i.d. within a point, so the ordinary
+    normal-approximation summary applies.  Antithetic draws are
+    negatively correlated in pairs; the estimator is summarised over the
+    per-batch pair means, which restores (approximate) independence and
+    credits the cancellation to the CI — with the effective sample size
+    reporting how many i.i.d. draws the correlation was worth.
+    """
+    if mode != "antithetic":
+        return summarize(samples, confidence=confidence)
+    z = z_value(confidence)
+    pm_parts = []
+    offset = 0
+    for size in boundaries:
+        pm_parts.append(pair_means(samples[offset : offset + size]))
+        offset += size
+    if offset != samples.size:
+        raise SimulationError(
+            f"batch boundaries cover {offset} of {samples.size} samples"
+        )
+    pm = np.concatenate(pm_parts)
+    var_pm = float(pm.var(ddof=1)) if pm.size > 1 else 0.0
+    half = z * math.sqrt(var_pm / pm.size) if pm.size > 0 else 0.0
+    var_raw = float(samples.var(ddof=1)) if samples.size > 1 else 0.0
+    if var_pm > 0.0:
+        ess = var_raw * pm.size / var_pm
+    else:
+        ess = float(samples.size)
+    return summarize(samples, confidence=confidence, ci_halfwidth=half, ess=ess)
+
+
+# -- adaptive cell evaluation --------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class CellEstimate:
+    """One (technique, params) cell's adaptive estimate."""
+
+    technique: str
+    params: SimulationParams
+    #: Raw per-run completion times actually drawn (or loaded).
+    samples: np.ndarray
+    #: Variance-reduction-aware summary (CI, effective sample size).
+    summary: Summary
+    #: Batch sizes in draw order (reconstructs antithetic pairing).
+    boundaries: tuple[int, ...]
+    #: Whether the CI target was met (False means max_runs exhausted).
+    converged: bool
+    #: Served from the content-addressed cache without drawing.
+    cached: bool = False
+
+
+def _batch_rng(
+    params: SimulationParams, technique: str, batch: int
+) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=params.seed, spawn_key=(_SALTS[technique], batch)
+        )
+    )
+
+
+def _crn_pool(params: SimulationParams, technique: str) -> UniformPool:
+    """The technique's CRN pool — seeded independently of MTTF (every
+    sweep point shares it) and of any batch stream."""
+    return UniformPool(
+        np.random.SeedSequence(
+            entropy=params.seed, spawn_key=(_SALTS[technique], _CRN_STREAM)
+        )
+    )
+
+
+class _CellSampler:
+    """Draws successive batches for one cell under one VR mode."""
+
+    def __init__(
+        self,
+        technique: str,
+        params: SimulationParams,
+        mode: str | None,
+        pool: UniformPool | None,
+    ) -> None:
+        self.technique = technique
+        self.params = params
+        self.mode = mode
+        self._crn = CRNGenerator(pool) if mode == "crn" else None
+        self._batch = 0
+
+    def draw(self, runs: int) -> np.ndarray:
+        if self._crn is not None:
+            rng = self._crn  # cursor persists across batches
+        else:
+            rng = _batch_rng(self.params, self.technique, self._batch)
+            if self.mode == "antithetic":
+                rng = AntitheticGenerator(rng)
+        self._batch += 1
+        return sample_technique(self.technique, self.params, rng=rng, runs=runs)
+
+
+def _adaptive_cache_key(
+    store,
+    technique: str,
+    params: SimulationParams,
+    mode: str | None,
+    target: CITarget | None,
+    runs: int,
+) -> str:
+    """Cache key for an adaptive/VR cell.
+
+    With a CI target the key is budget-independent: it covers the target
+    precision, bounds floor, growth and VR mode but *not* ``max_runs`` —
+    acceptance (:func:`_accepts`) decides at load time whether a stored
+    vector satisfies the caller's budget.  Without a target (fixed-budget
+    VR sampling) the run count is the budget and keys on it.
+    """
+    spec = None
+    if target is not None:
+        spec = {
+            "rel": target.rel,
+            "abs": target.abs,
+            "confidence": target.confidence,
+            "min_runs": target.min_runs,
+            "growth": target.growth,
+        }
+    return store.key(
+        kind="adaptive",
+        technique=technique,
+        params=params.with_runs(1),
+        runs=0 if target is not None else runs,
+        base_seed=params.seed,
+        extra={"variance_reduction": mode, "target": spec},
+    )
+
+
+def _accepts(
+    samples: np.ndarray,
+    technique: str,
+    params: SimulationParams,
+    mode: str | None,
+    target: CITarget | None,
+    runs: int,
+) -> CellEstimate | None:
+    """Re-evaluate a cached vector against the *caller's* budget."""
+    if target is None:
+        if samples.size != runs:
+            return None
+        boundaries = (samples.size,)
+        summary = _vr_summary(samples, boundaries, mode, 0.99)
+        return CellEstimate(
+            technique, params, samples, summary, boundaries, True, cached=True
+        )
+    if samples.size < target.min_runs:
+        return None
+    boundaries = target.boundaries_for(samples.size)
+    summary = _vr_summary(samples, boundaries, mode, target.confidence)
+    converged = target.met(summary)
+    if not converged and samples.size < target.max_runs:
+        return None  # caller's budget allows refining further: recompute
+    return CellEstimate(
+        technique, params, samples, summary, boundaries, converged, cached=True
+    )
+
+
+def adaptive_samples(
+    technique: str,
+    params: SimulationParams,
+    *,
+    target: "CITarget | float | None" = None,
+    variance_reduction: str | None = None,
+    runs: int | None = None,
+    cache=None,
+) -> CellEstimate:
+    """Adaptively sample one (technique, params) cell.
+
+    With both *target* and *variance_reduction* unset this defers to the
+    plain fixed-budget sampler (bit-identical to
+    :func:`~repro.sim.samplers.sample_technique`).  Otherwise draws
+    geometric batches under the VR mode until the :class:`CITarget` is
+    met (or ``max_runs`` spent); with a *target* the *runs* argument is
+    ignored in favour of the target's bounds.
+    """
+    grid = evaluate_grid(
+        params,
+        [params.mttf],
+        [technique],
+        target=target,
+        variance_reduction=variance_reduction,
+        runs=runs,
+        cache=cache,
+    )
+    return grid.cells[(technique, float(params.mttf))]
+
+
+@dataclass(frozen=True, eq=False)
+class GridEvaluation:
+    """Result of one fused (technique × MTTF) grid evaluation."""
+
+    cells: dict[tuple[str, float], CellEstimate]
+    mttfs: tuple[float, ...]
+    techniques: tuple[str, ...]
+
+    @property
+    def samples_drawn(self) -> int:
+        """Raw draws actually sampled this evaluation (cache hits free)."""
+        return sum(
+            c.samples.size for c in self.cells.values() if not c.cached
+        )
+
+    @property
+    def samples_used(self) -> int:
+        """Raw draws backing the estimates, drawn or loaded."""
+        return sum(c.samples.size for c in self.cells.values())
+
+    @property
+    def all_converged(self) -> bool:
+        return all(c.converged for c in self.cells.values())
+
+    def series(self) -> dict:
+        """Per-technique :class:`~repro.sim.runner.Series`, the shape
+        :func:`~repro.sim.runner.sweep_mttf` returns."""
+        from .runner import Series, TECHNIQUE_LABELS
+
+        out = {}
+        for technique in self.techniques:
+            summaries = tuple(
+                self.cells[(technique, m)].summary for m in self.mttfs
+            )
+            out[technique] = Series(
+                label=TECHNIQUE_LABELS.get(technique, technique),
+                x=self.mttfs,
+                y=tuple(s.mean for s in summaries),
+                summaries=summaries,
+            )
+        return out
+
+
+def evaluate_grid(
+    params: SimulationParams,
+    mttfs,
+    techniques=TECHNIQUES,
+    *,
+    target: "CITarget | float | None" = None,
+    variance_reduction: str | None = None,
+    runs: int | None = None,
+    cache=None,
+) -> GridEvaluation:
+    """Fused adaptive evaluation of a (technique × MTTF) grid.
+
+    One round-based loop drives every cell: round *r* draws batch *r*
+    for each cell that has neither met the CI target nor exhausted
+    ``max_runs``, so the easy bulk of the grid drops out after the first
+    round and only the hard tail keeps sampling.  Under CRN all cells of
+    a technique share one :class:`UniformPool`, each replaying it from
+    position zero; the pool grows once per round to the deepest cursor
+    instead of once per cell.
+
+    Without a target, every cell draws a single fixed batch of *runs*
+    (``params.runs`` when unset) under the VR mode; without a VR mode
+    *and* without a target the per-cell vectors are exactly
+    :func:`~repro.sim.samplers.sample_technique`'s.
+    """
+    mode = resolve_variance_reduction(variance_reduction)
+    tgt = CITarget.of(target)
+    techniques = tuple(techniques)
+    mttfs = tuple(float(m) for m in mttfs)
+    for technique in techniques:
+        if technique not in EXTENDED_TECHNIQUES:
+            raise SimulationError(
+                f"unknown technique {technique!r}; "
+                f"expected one of {EXTENDED_TECHNIQUES}"
+            )
+    store = resolve_cache(cache)
+    fixed_runs = runs if runs is not None else params.runs
+
+    cells: dict[tuple[str, float], CellEstimate] = {}
+    pending: dict[tuple[str, float], _CellSampler] = {}
+    chunks: dict[tuple[str, float], list[np.ndarray]] = {}
+    pools: dict[str, UniformPool] = {}
+
+    for technique in techniques:
+        if mode == "crn":
+            pools[technique] = _crn_pool(params, technique)
+        for mttf in mttfs:
+            cell = (technique, mttf)
+            cell_params = params.with_mttf(mttf)
+            if mode is None and tgt is None:
+                # Bit-identical fast path: the untouched single-shot
+                # sampler, salted exactly as it always was.
+                samples = sample_technique(
+                    technique, cell_params, runs=fixed_runs
+                )
+                cells[cell] = CellEstimate(
+                    technique,
+                    cell_params,
+                    samples,
+                    summarize(samples),
+                    (samples.size,),
+                    True,
+                )
+                continue
+            if store is not None:
+                key = _adaptive_cache_key(
+                    store, technique, cell_params, mode, tgt, fixed_runs
+                )
+                hit = store.load(key)
+                if hit is not None:
+                    accepted = _accepts(
+                        hit, technique, cell_params, mode, tgt, fixed_runs
+                    )
+                    if accepted is not None:
+                        cells[cell] = accepted
+                        continue
+            pending[cell] = _CellSampler(
+                technique, cell_params, mode, pools.get(technique)
+            )
+            chunks[cell] = []
+
+    schedule = tgt.batch_sizes() if tgt is not None else [fixed_runs]
+    totals = {cell: 0 for cell in pending}
+    for batch_size in schedule:
+        if not pending:
+            break
+        for cell in list(pending):
+            sampler = pending[cell]
+            chunks[cell].append(sampler.draw(batch_size))
+            totals[cell] += batch_size
+            samples = (
+                chunks[cell][0]
+                if len(chunks[cell]) == 1
+                else np.concatenate(chunks[cell])
+            )
+            boundaries = tuple(c.size for c in chunks[cell])
+            confidence = tgt.confidence if tgt is not None else 0.99
+            summary = _vr_summary(samples, boundaries, mode, confidence)
+            converged = tgt is None or tgt.met(summary)
+            exhausted = tgt is not None and totals[cell] >= tgt.max_runs
+            if converged or exhausted:
+                del pending[cell]
+                cells[cell] = CellEstimate(
+                    sampler.technique,
+                    sampler.params,
+                    samples,
+                    summary,
+                    boundaries,
+                    converged,
+                )
+                if store is not None:
+                    key = _adaptive_cache_key(
+                        store,
+                        sampler.technique,
+                        sampler.params,
+                        mode,
+                        tgt,
+                        fixed_runs,
+                    )
+                    store.store(key, samples)
+    if pending:  # pragma: no cover - schedule always covers max_runs
+        raise SimulationError(
+            f"{len(pending)} cell(s) left unsampled by the batch schedule"
+        )
+    return GridEvaluation(cells=cells, mttfs=mttfs, techniques=techniques)

@@ -12,7 +12,16 @@ deterministic in its inputs, a sample vector is a pure function of
   sampler's or the engine path's draw sequence changes), and
 * the sampling *kind* (``"sampler"`` for the vectorised standalone
   samplers, ``"engine"`` for end-to-end engine runs — same parameters,
-  different processes, so they must never share an entry).
+  different processes, so they must never share an entry; ``"adaptive"``
+  and ``"engine-adaptive"`` for the CI-targeted paths of
+  :mod:`repro.sim.adaptive` and :mod:`repro.sim.engine_mc`, whose batch
+  seeding differs from the single-shot streams).
+
+Adaptive keys are **budget-independent**: the run count is carried as 0
+and ``max_runs`` stays out of the key's ``extra`` payload, so a cached
+cell that satisfies the CI target is a hit regardless of the budget a
+later caller requests (acceptance is re-checked at load time against the
+caller's bounds).
 
 The cache key is the SHA-256 over that tuple, and each entry is one
 ``<key>.npy`` file under the cache root.  Because the key covers every
@@ -88,9 +97,10 @@ class SampleCache:
         *extra* carries kind-specific inputs that shape the draw sequence
         (the engine path includes its virtual-time budget, for example).
         """
-        if kind not in ("sampler", "engine"):
+        if kind not in ("sampler", "engine", "adaptive", "engine-adaptive"):
             raise SimulationError(
-                f"cache kind must be 'sampler' or 'engine', got {kind!r}"
+                f"cache kind must be 'sampler', 'engine', 'adaptive' or "
+                f"'engine-adaptive', got {kind!r}"
             )
         payload = json.dumps(
             {

@@ -257,6 +257,94 @@ def run_engine_once(
     return result.completion_time
 
 
+def _engine_adaptive(
+    technique: str,
+    params: SimulationParams,
+    target_ci,
+    runs: int,
+    base_seed: int,
+    jobs: int | None,
+    timeout: float,
+    cache,
+    metrics,
+) -> np.ndarray:
+    """CI-targeted engine sampling, sharing :class:`repro.sim.adaptive`'s
+    stopping rule.
+
+    Batches are contiguous in run-index space (batch *b* covers indices
+    ``[total, total + size)`` with the per-index seeds of
+    :func:`~repro.sim.parallel.seed_for`), so the adaptive vector is
+    always an exact prefix of the fixed-budget vector for the same
+    ``base_seed`` — the agreement oracle sees the same runs, just fewer
+    of them.  Cached under kind ``"engine-adaptive"`` with a
+    budget-independent key: a stored vector that meets the target is a
+    hit regardless of the caller's ``max_runs``.
+    """
+    from .adaptive import CITarget
+    from .cache import resolve_cache
+    from .parallel import SEED_STRIDE, engine_samples_parallel
+    from .stats import summarize
+
+    if isinstance(target_ci, CITarget):
+        tgt = target_ci
+    else:
+        # A bare number is a relative target; the runs= argument becomes
+        # the budget ceiling (keeping engine call sites cheap to write).
+        min_runs = max(2, min(100, runs))
+        tgt = CITarget(
+            rel=float(target_ci),
+            min_runs=min_runs,
+            max_runs=max(runs, min_runs),
+        )
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        key = store.key(
+            kind="engine-adaptive",
+            technique=technique,
+            params=params.with_runs(1),
+            runs=0,
+            base_seed=base_seed,
+            extra={
+                "timeout": timeout,
+                "target": {
+                    "rel": tgt.rel,
+                    "abs": tgt.abs,
+                    "confidence": tgt.confidence,
+                    "min_runs": tgt.min_runs,
+                    "growth": tgt.growth,
+                },
+            },
+        )
+        hit = store.load(key)
+        if hit is not None and hit.size >= tgt.min_runs:
+            summary = summarize(hit, confidence=tgt.confidence)
+            if tgt.met(summary) or hit.size >= tgt.max_runs:
+                return hit
+    chunks: list[np.ndarray] = []
+    total = 0
+    samples = np.empty(0)
+    for batch in tgt.batch_sizes():
+        chunks.append(
+            engine_samples_parallel(
+                technique,
+                params,
+                runs=batch,
+                base_seed=base_seed + SEED_STRIDE * total,
+                jobs=jobs,
+                timeout=timeout,
+                metrics=metrics,
+            )
+        )
+        total += batch
+        samples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        if tgt.met(summarize(samples, confidence=tgt.confidence)):
+            break
+    if store is not None:
+        store.store(key, samples)
+    return samples
+
+
 def engine_samples(
     technique: str,
     params: SimulationParams,
@@ -267,6 +355,7 @@ def engine_samples(
     timeout: float = 10_000_000.0,
     cache=None,
     metrics=None,
+    target_ci=None,
 ) -> np.ndarray:
     """Completion times from *runs* independent engine executions.
 
@@ -292,11 +381,29 @@ def engine_samples(
     histograms, pool sampler-cache counters (merged back from worker
     processes) and disk-cache hit/miss counters.  ``None`` — the default —
     records nothing and adds no measurable overhead.
+
+    *target_ci* switches to CI-targeted adaptive sampling: a bare number
+    is a relative half-width target with *runs* as the budget ceiling, a
+    :class:`~repro.sim.adaptive.CITarget` is used as-is.  Runs stay
+    seeded per index, so the adaptive vector is an exact prefix of the
+    fixed-budget vector (see :func:`_engine_adaptive`).
     """
     from .cache import resolve_cache
     from .parallel import engine_samples_parallel
 
     base_seed = params.seed if base_seed is None else base_seed
+    if target_ci is not None:
+        return _engine_adaptive(
+            technique,
+            params,
+            target_ci,
+            runs,
+            base_seed,
+            jobs,
+            timeout,
+            cache,
+            metrics,
+        )
     store = resolve_cache(cache)
     if store is not None:
         key = store.key(

@@ -59,6 +59,7 @@ __all__ = [
     "resolve_jobs",
     "engine_samples_parallel",
     "sweep_samples_parallel",
+    "cell_samples_parallel",
 ]
 
 #: Per-run seed stride (prime, so run seeds never collide with the small
@@ -301,6 +302,43 @@ def _sweep_point(
     from .samplers import sample_technique
 
     return sample_technique(technique, params.with_mttf(mttf), runs=runs)
+
+
+def _cell_point(
+    technique: str, params: SimulationParams, runs: int | None
+) -> np.ndarray:
+    """Worker body: one fully-specified (technique, params) cell."""
+    from .samplers import sample_technique
+
+    return sample_technique(technique, params, runs=runs)
+
+
+def cell_samples_parallel(
+    cells: list[tuple[str, SimulationParams]],
+    *,
+    runs: int | None = None,
+    jobs: int | None = None,
+) -> list[np.ndarray]:
+    """Sample arbitrary ``(technique, params)`` cells across the persistent
+    pool — the generic-sweep sibling of :func:`sweep_samples_parallel`,
+    for sweeps whose x axis is *any* parameter (replica count, overhead,
+    downtime), not just MTTF.  Cell order matches the sequential
+    evaluation exactly; each cell draws from its own seeded generator."""
+    jobs = min(resolve_jobs(jobs), len(cells) or 1)
+    if jobs <= 1:
+        return [_cell_point(t, p, runs) for t, p in cells]
+
+    def submit_all(pool):
+        futures = {
+            pool.submit(_cell_point, t, p, runs): i
+            for i, (t, p) in enumerate(cells)
+        }
+        results: list[np.ndarray | None] = [None] * len(cells)
+        for future in as_completed(futures):
+            results[futures[future]] = future.result()
+        return results
+
+    return _submit_resilient(jobs, submit_all)
 
 
 def sweep_samples_parallel(

@@ -139,12 +139,15 @@ def worker_sampler(
 
     LRU-cached on ``(technique, params, timeout)``; runs in pool workers
     (each keeps its own cache for its process lifetime) and in the parent
-    for the ``jobs=1`` path.
+    for the ``jobs=1`` path.  The key normalises ``params.runs`` to 1 —
+    :class:`EngineSampler` ignores it (run counts arrive per call), so
+    configurations differing only in the requested budget share one
+    sampler instead of evicting each other.
     """
     global _CACHE_HITS, _CACHE_MISSES
     from .engine_mc import EngineSampler
 
-    key = (technique, params, timeout)
+    key = (technique, params.with_runs(1), timeout)
     sampler = _SAMPLERS.get(key)
     if sampler is not None:
         _CACHE_HITS += 1

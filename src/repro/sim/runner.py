@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..errors import SimulationError
-from .parallel import sweep_samples_parallel
+from .parallel import cell_samples_parallel, sweep_samples_parallel
 from .params import SimulationParams
 from .samplers import TECHNIQUES
 from .stats import Summary, summarize
@@ -107,16 +107,86 @@ def to_csv(x_label: str, series: Sequence[Series]) -> str:
 
 def sweep(
     xs: Sequence[float],
-    fn: Callable[[float], np.ndarray],
+    fn: Callable[[float], np.ndarray] | None = None,
     *,
     label: str,
+    technique: str | None = None,
+    params_of: Callable[[float], SimulationParams] | None = None,
+    runs: int | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> Series:
-    """Generic sweep: *fn* maps an x to a sample vector; the series carries
-    sample means plus summaries."""
-    summaries = tuple(summarize(fn(x)) for x in xs)
+    """Generic sweep over any x axis; the series carries sample means plus
+    summaries.
+
+    Two spellings:
+
+    * ``sweep(xs, fn, label=...)`` — *fn* maps an x to a sample vector,
+      evaluated in process.  Arbitrary callables can't be fanned out or
+      content-addressed, so ``jobs=``/``cache=`` are rejected here.
+    * ``sweep(xs, technique=..., params_of=..., label=...)`` — *params_of*
+      maps an x to the cell's :class:`SimulationParams`.  This declarative
+      form routes through the same per-point machinery as
+      :func:`sweep_mttf`: cells fan out across the persistent pool
+      (``jobs=``) and each cell is independently content-addressed in the
+      sample cache (``cache=``), so ablation sweeps built on ``sweep``
+      get pool + cache for free.
+    """
+    xs = tuple(float(x) for x in xs)
+    if fn is not None:
+        if technique is not None or params_of is not None:
+            raise SimulationError(
+                "sweep takes either fn or technique+params_of, not both"
+            )
+        if jobs is not None or cache is not None or runs is not None:
+            raise SimulationError(
+                "runs=/jobs=/cache= require the declarative "
+                "technique+params_of form (fn callables cannot be "
+                "fanned out or content-addressed)"
+            )
+        summaries = tuple(summarize(fn(x)) for x in xs)
+        return Series(
+            label=label,
+            x=xs,
+            y=tuple(s.mean for s in summaries),
+            summaries=summaries,
+        )
+    if technique is None or params_of is None:
+        raise SimulationError("sweep needs fn, or technique and params_of")
+    from .cache import resolve_cache
+
+    store = resolve_cache(cache)
+    cells = [params_of(x) for x in xs]
+
+    def key_for(cell_params: SimulationParams) -> str:
+        return store.key(
+            kind="sampler",
+            technique=technique,
+            params=cell_params,
+            runs=runs if runs is not None else cell_params.runs,
+            base_seed=cell_params.seed,
+        )
+
+    samples: dict[int, np.ndarray] = {}
+    if store is not None:
+        for i, cell_params in enumerate(cells):
+            hit = store.load(key_for(cell_params))
+            if hit is not None:
+                samples[i] = hit
+    missing = [i for i in range(len(cells)) if i not in samples]
+    if missing:
+        vectors = cell_samples_parallel(
+            [(technique, cells[i]) for i in missing], runs=runs, jobs=jobs
+        )
+        for i, vector in zip(missing, vectors):
+            samples[i] = vector
+            if store is not None:
+                store.store(key_for(cells[i]), vector)
+
+    summaries = tuple(summarize(samples[i]) for i in range(len(cells)))
     return Series(
         label=label,
-        x=tuple(float(x) for x in xs),
+        x=xs,
         y=tuple(s.mean for s in summaries),
         summaries=summaries,
     )
@@ -130,6 +200,8 @@ def sweep_mttf(
     runs: int | None = None,
     jobs: int | None = None,
     cache=None,
+    target_ci=None,
+    variance_reduction: str | None = None,
 ) -> dict[str, Series]:
     """The paper's standard experiment: E[T] vs MTTF per technique.
 
@@ -144,7 +216,28 @@ def sweep_mttf(
     independently, so regenerating a sweep re-samples only the points
     whose inputs changed — an unchanged figure regenerates from disk
     without drawing a single sample.
+
+    *target_ci* (a :class:`~repro.sim.adaptive.CITarget` or a bare
+    relative half-width) and *variance_reduction* (``"antithetic"`` /
+    ``"crn"``) route the sweep through the fused adaptive evaluator
+    (:func:`repro.sim.adaptive.evaluate_grid`): cells sample in geometric
+    batches until they meet the CI target, under the chosen
+    variance-reduction kernel.  With both left at ``None`` this function
+    is exactly the fixed-budget path below — bit-identical output.
     """
+    if target_ci is not None or variance_reduction is not None:
+        from .adaptive import evaluate_grid
+
+        grid = evaluate_grid(
+            params,
+            mttfs,
+            tuple(techniques),
+            target=target_ci,
+            variance_reduction=variance_reduction,
+            runs=runs,
+            cache=cache,
+        )
+        return grid.series()
     from .cache import resolve_cache
 
     techniques = list(techniques)

@@ -78,12 +78,19 @@ _MAX_ROUNDS = 10_000_000  # runaway guard for pathological λF
 
 def _downtime_draws(
     params: SimulationParams, rng: np.random.Generator, size: int
-):
-    """Per-failure repair times under the configured distribution."""
+) -> np.ndarray:
+    """Per-failure repair times under the configured distribution.
+
+    Always an ndarray of length *size* — the degenerate distributions
+    (``downtime == 0`` and ``"fixed"``) used to return bare scalars, which
+    broadcast identically in the samplers but broke any caller indexing or
+    concatenating the draws.  Neither degenerate branch consumes RNG state,
+    so the draw sequence (and every sample vector) is unchanged.
+    """
     if params.downtime == 0:
-        return 0.0
+        return np.zeros(size)
     if params.downtime_distribution == "fixed":
-        return params.downtime
+        return np.full(size, params.downtime)
     return rng.exponential(params.downtime, size=size)
 
 

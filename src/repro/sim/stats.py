@@ -9,7 +9,7 @@ import numpy as np
 
 from ..errors import SimulationError
 
-__all__ = ["Summary", "summarize", "relative_error"]
+__all__ = ["Summary", "summarize", "relative_error", "z_value"]
 
 
 @dataclass(frozen=True)
@@ -23,6 +23,23 @@ class Summary:
     ci_halfwidth: float
     p50: float
     p95: float
+    #: Effective sample size: the i.i.d. sample count that would deliver
+    #: the same estimator variance.  Equals ``n`` for plain independent
+    #: sampling; variance-reduced estimators (antithetic pairing) report
+    #: more — the factor by which correlation-aware estimation beat i.i.d.
+    #: draws (see :mod:`repro.sim.adaptive`).  0.0 means "not computed"
+    #: (legacy construction sites).
+    ess: float = 0.0
+
+    @property
+    def rel_halfwidth(self) -> float:
+        """CI half-width relative to the mean (∞ for a zero mean with a
+        non-degenerate interval, 0.0 for an exactly-degenerate one)."""
+        if self.ci_halfwidth == 0.0:
+            return 0.0
+        if self.mean == 0.0:
+            return math.inf
+        return self.ci_halfwidth / abs(self.mean)
 
     @property
     def ci_low(self) -> float:
@@ -44,28 +61,44 @@ class Summary:
         return f"{self.mean:.3f} ± {self.ci_halfwidth:.3f} (n={self.n})"
 
 
-def summarize(samples: np.ndarray, *, confidence: float = 0.99) -> Summary:
-    """Mean/CI/percentile summary of a sample vector.
-
-    The CI uses the normal approximation, appropriate at the 100k-run scale
-    of the paper's simulation; ``confidence`` picks the z value (0.95 and
-    0.99 supported, plus the generic erf inverse for anything else via
-    :func:`scipy-free` rational approximation — we keep just the two common
-    values to stay dependency-light).
-    """
-    samples = np.asarray(samples, dtype=float)
-    if samples.ndim != 1 or samples.size == 0:
-        raise SimulationError("summarize expects a non-empty 1-D sample vector")
+def z_value(confidence: float) -> float:
+    """Normal-approximation z for the supported confidence levels."""
     z_table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
     z = z_table.get(round(confidence, 2))
     if z is None:
         raise SimulationError(
             f"confidence must be one of {sorted(z_table)}, got {confidence!r}"
         )
+    return z
+
+
+def summarize(
+    samples: np.ndarray,
+    *,
+    confidence: float = 0.99,
+    ci_halfwidth: float | None = None,
+    ess: float | None = None,
+) -> Summary:
+    """Mean/CI/percentile summary of a sample vector.
+
+    The CI uses the normal approximation, appropriate at the 100k-run scale
+    of the paper's simulation; ``confidence`` picks the z value (0.90, 0.95
+    and 0.99 supported — we keep just the common values to stay
+    dependency-light).
+
+    *ci_halfwidth* and *ess* override the i.i.d. interval and effective
+    sample size: variance-reduced estimators (:mod:`repro.sim.adaptive`)
+    summarize the raw draws here but substitute the correlation-aware
+    interval computed from their pairing structure.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1 or samples.size == 0:
+        raise SimulationError("summarize expects a non-empty 1-D sample vector")
+    z = z_value(confidence)
     n = samples.size
     mean = float(samples.mean())
     std = float(samples.std(ddof=1)) if n > 1 else 0.0
-    half = z * std / math.sqrt(n)
+    half = z * std / math.sqrt(n) if ci_halfwidth is None else ci_halfwidth
     return Summary(
         n=n,
         mean=mean,
@@ -73,6 +106,7 @@ def summarize(samples: np.ndarray, *, confidence: float = 0.99) -> Summary:
         ci_halfwidth=half,
         p50=float(np.percentile(samples, 50)),
         p95=float(np.percentile(samples, 95)),
+        ess=float(n) if ess is None else float(ess),
     )
 
 

@@ -173,3 +173,47 @@ class TestDowntimeDistribution:
             sample_replication(fixed_params).mean()
             > sample_replication(exp_params).mean()
         )
+
+
+class TestDowntimeDraws:
+    """`_downtime_draws` must return an ndarray for *every* distribution —
+    the degenerate branches used to be able to return scalars, which
+    silently broadcast in some samplers and broke per-run indexing in
+    others."""
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            SimulationParams(mttf=20.0, downtime=0.0, runs=10),
+            SimulationParams(
+                mttf=20.0, downtime=0.0, downtime_distribution="fixed", runs=10
+            ),
+            SimulationParams(
+                mttf=20.0, downtime=5.0, downtime_distribution="fixed", runs=10
+            ),
+            SimulationParams(mttf=20.0, downtime=5.0, runs=10),
+        ],
+        ids=["zero-exp", "zero-fixed", "fixed", "exponential"],
+    )
+    def test_always_ndarray_of_requested_size(self, params):
+        from repro.sim.samplers import _downtime_draws
+
+        draws = _downtime_draws(params, np.random.default_rng(0), 7)
+        assert isinstance(draws, np.ndarray)
+        assert draws.shape == (7,)
+        assert draws.dtype == np.float64
+
+    def test_degenerate_branches_consume_no_rng_state(self):
+        from repro.sim.samplers import _downtime_draws
+
+        rng = np.random.default_rng(1)
+        _downtime_draws(SimulationParams(mttf=20.0, downtime=0.0), rng, 5)
+        _downtime_draws(
+            SimulationParams(
+                mttf=20.0, downtime=3.0, downtime_distribution="fixed"
+            ),
+            rng,
+            5,
+        )
+        untouched = np.random.default_rng(1)
+        np.testing.assert_array_equal(rng.random(4), untouched.random(4))
