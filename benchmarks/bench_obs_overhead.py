@@ -11,7 +11,13 @@ telemetry plane: the same 300-sample engine-level point runs
 * ``recorder``  — a :class:`~repro.obs.recorder.FlightRecorder` tapping the
   bus, journaling every publish into its bounded ring (no spill);
 * ``both``      — trace context and recorder together (the configuration a
-  live ``--serve-telemetry --flight-record`` run actually uses).
+  live ``--serve-telemetry --flight-record`` run actually uses);
+* ``full``      — everything at once: trace context, recorder, and the
+  statistical plane (:class:`~repro.obs.estimators.EstimatorSuite`
+  subscribed to the bus, feeding a
+  :class:`~repro.obs.timeseries.TimeSeriesStore` and re-evaluating a
+  :class:`~repro.obs.health.HealthEngine` rule set on every host
+  failure).
 
 Every mode must stay under :data:`OVERHEAD_CEILING` relative to plain, and
 all modes must produce bit-identical completion-time vectors — tracing and
@@ -21,9 +27,11 @@ Methodology: one :class:`~repro.sim.engine_mc.EngineSampler` instance is
 *toggled* between modes (``set_trace_context`` / recorder attach-detach)
 so every mode shares the same object layout — separately constructed
 samplers differ by several percent from allocation luck alone, which would
-drown a 2% gate.  Passes are interleaved and each repeat computes the
-mode/plain ratio within itself, so clock-frequency drift across a long
-run cancels; the reported overhead is the median ratio across repeats.
+drown a 2% gate.  Passes are interleaved, each repeat computes the
+mode/plain ratio within itself, and the pass order alternates between
+repeats (forward, then reversed) so monotone clock drift within a repeat
+biases no particular mode; the reported overhead is the median ratio
+across repeats.
 ``REPRO_BENCH_OBS_RUNS`` / ``REPRO_BENCH_OBS_REPEATS`` scale the work for
 CI smoke runs.
 """
@@ -37,7 +45,13 @@ import time
 
 from _common import emit_results, once
 
-from repro.obs import FlightRecorder
+from repro.obs import (
+    EstimatorSuite,
+    FlightRecorder,
+    HealthEngine,
+    TimeSeriesStore,
+    default_rules,
+)
 from repro.sim import PAPER_BASELINE, EngineSampler
 
 TECHNIQUE = "checkpointing"
@@ -48,15 +62,24 @@ REPEATS = int(os.environ.get("REPRO_BENCH_OBS_REPEATS", "11"))
 #: Per-mode ceiling on the median overhead ratio versus the plain pass.
 OVERHEAD_CEILING = 0.02
 
-MODES = ("plain", "trace", "recorder", "both")
+MODES = ("plain", "trace", "recorder", "both", "full")
 
 
-def _configure(sampler: EngineSampler, recorder: FlightRecorder, mode: str) -> None:
-    sampler.set_trace_context(mode in ("trace", "both"))
-    if mode in ("recorder", "both"):
+def _configure(
+    sampler: EngineSampler,
+    recorder: FlightRecorder,
+    suite: EstimatorSuite,
+    mode: str,
+) -> None:
+    sampler.set_trace_context(mode in ("trace", "both", "full"))
+    if mode in ("recorder", "both", "full"):
         recorder.attach_bus(sampler.engine.runtime.bus)
     else:
         recorder.detach()
+    if mode == "full":
+        suite.attach_bus(sampler.engine.runtime.bus)
+    else:
+        suite.detach()
 
 
 def _pass_seconds(sampler: EngineSampler, params, runs: int) -> float:
@@ -74,24 +97,37 @@ def generate():
     # memory stays bounded, so GC pressure cannot masquerade as overhead.
     recorder = FlightRecorder(sampler.engine.runtime.bus, capacity=4096)
     recorder.detach()
+    # The statistical plane, as --serve-telemetry wires it (no priors:
+    # each sampler.run rewinds sim time, and the inter-failure dedup in
+    # the suite keeps estimator state bounded across resets).
+    clock = sampler.engine.runtime.reactor.now
+    store = TimeSeriesStore(step=5.0)
+    health = HealthEngine(clock=clock)
+    suite = EstimatorSuite(clock=clock, store=store, health=health)
+    default_rules(health, store=store, estimators=suite)
 
     # Correctness first: every mode must yield the same sample vector.
     vectors = {}
     for mode in MODES:
-        _configure(sampler, recorder, mode)
+        _configure(sampler, recorder, suite, mode)
         vectors[mode] = [sampler.run(params.seed + 7919 * i) for i in range(25)]
     bit_identical = all(vectors[m] == vectors["plain"] for m in MODES)
 
     ratios: dict[str, list[float]] = {mode: [] for mode in MODES}
-    for _ in range(REPEATS):
+    for repeat in range(REPEATS):
+        # Alternate the pass order: with a fixed order, monotone clock
+        # drift within a repeat (frequency ramps, background load) lands
+        # entirely on the last mode; reversing on odd repeats puts every
+        # mode early and late equally, so the median ratio cancels it.
+        order = MODES if repeat % 2 == 0 else MODES[::-1]
         elapsed = {}
-        for mode in MODES:
-            _configure(sampler, recorder, mode)
+        for mode in order:
+            _configure(sampler, recorder, suite, mode)
             gc.collect()
             elapsed[mode] = _pass_seconds(sampler, params, RUNS)
         for mode in MODES:
             ratios[mode].append(elapsed[mode] / elapsed["plain"])
-    _configure(sampler, recorder, "plain")
+    _configure(sampler, recorder, suite, "plain")
 
     overheads = {
         f"{mode}_overhead": statistics.median(ratios[mode]) - 1.0
@@ -123,6 +159,7 @@ def test_obs_overhead(benchmark):
         f"  trace context          {payload['trace_overhead']:+.2%}",
         f"  flight recorder (ring) {payload['recorder_overhead']:+.2%}",
         f"  trace + recorder       {payload['both_overhead']:+.2%}",
+        f"  + estimators/health    {payload['full_overhead']:+.2%}",
         f"  bit-identical outputs: {payload['bit_identical']}",
         f"  events journaled:      {payload['recorder_stats']['recorded']}",
     ]
@@ -140,3 +177,4 @@ def test_obs_overhead(benchmark):
     assert payload["trace_overhead"] < OVERHEAD_CEILING, payload
     assert payload["recorder_overhead"] < OVERHEAD_CEILING, payload
     assert payload["both_overhead"] < OVERHEAD_CEILING, payload
+    assert payload["full_overhead"] < OVERHEAD_CEILING, payload

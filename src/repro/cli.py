@@ -40,9 +40,14 @@ rates next to the completion-time estimates.
 
 The live telemetry plane rides on the same flags: ``--serve-telemetry
 PORT`` stands up an HTTP server exposing ``/metrics`` (scrape-able
-mid-run), ``/healthz``, ``/workflows`` and ``/workflows/<id>``; ``--pace
+mid-run), ``/healthz``, ``/health``, ``/alerts``, ``/timeseries``,
+``/workflows`` and ``/workflows/<id>``, backed by the statistical layer
+(:mod:`repro.obs.timeseries` ring-buffer store on a
+``--telemetry-interval`` cadence, :mod:`repro.obs.estimators` online
+MTTF/drift estimators, :mod:`repro.obs.health` alert rules); ``--pace
 FACTOR`` slows the simulation to FACTOR wall seconds per virtual second
-so there is something live to scrape; ``--flight-record journal.jsonl``
+so there is something live to scrape; ``top`` renders the live terminal
+dashboard against any such endpoint; ``--flight-record journal.jsonl``
 journals every bus event, and ``inspect journal.jsonl`` reconstructs the
 causally-linked post-mortem timeline (attempt ledger, detector verdicts,
 recovery decisions, checkpoint restarts) from it:
@@ -52,6 +57,7 @@ recovery decisions, checkpoint restarts) from it:
     $ python -m repro.cli serve-batch specs/ --grid grid.json \\
           --instances 10 --serve-telemetry 9100 --pace 0.01 \\
           --flight-record journal.jsonl
+    $ python -m repro.cli top 127.0.0.1:9100        # live dashboard
     $ curl -s localhost:9100/workflows/wf-3
     $ python -m repro.cli inspect journal.jsonl --workflow wf-3
 
@@ -147,32 +153,90 @@ def _attach_observer(args: argparse.Namespace, engine: WorkflowEngine):
     return RunObserver.attach(engine)
 
 
-def _start_telemetry(args: argparse.Namespace, bus, registry):
+def _start_telemetry(args: argparse.Namespace, runtime, grid, registry):
     """Stand up the live telemetry plane: the flight recorder journaling
-    *bus*, and the HTTP scrape/status server.  Returns ``(server,
-    recorder)``, either of which may be ``None``."""
-    recorder = server = None
+    the bus, the statistical collector (time-series store, estimator
+    suite, health rules), and the HTTP scrape/status server.  Returns
+    ``(server, recorder, collector)``, any of which may be ``None``."""
+    recorder = server = collector = None
+    bus = runtime.bus
     if args.flight_record:
         from .obs import FlightRecorder
 
         recorder = FlightRecorder(bus, spill_path=args.flight_record)
     if args.serve_telemetry is not None:
-        from .obs import TelemetryServer, WorkflowStatusTracker
+        from .obs import (
+            EstimatorSuite,
+            HealthEngine,
+            PeriodicCollector,
+            TelemetryServer,
+            TimeSeriesStore,
+            WorkflowStatusTracker,
+            default_rules,
+            priors_from_grid,
+            scrape_bus,
+            scrape_detector,
+            scrape_grid,
+        )
 
+        reactor = runtime.reactor
+        detector = runtime.detector
+        store = TimeSeriesStore(step=args.telemetry_interval)
+        estimators = EstimatorSuite(
+            bus,
+            clock=reactor.now,
+            priors=priors_from_grid(grid),
+            store=store,
+        )
+        health = HealthEngine(clock=reactor.now, bus=bus)
+        default_rules(health, store=store, estimators=estimators)
+        # Drift latches re-evaluate the rules immediately, not on the
+        # next collector tick.
+        estimators.health = health
+        collector = PeriodicCollector(
+            store=store,
+            registry=registry,
+            reactor=reactor,
+            interval=args.telemetry_interval,
+            scrapers=(
+                lambda reg: scrape_grid(reg, grid),
+                lambda reg: scrape_bus(reg, bus),
+                lambda reg: scrape_detector(reg, detector),
+                lambda reg: estimators.ingest_liveness(
+                    detector.liveness_snapshot()
+                ),
+            ),
+            estimators=estimators,
+            health=health,
+        )
+        collector.start()
         server = TelemetryServer(
             registry=registry,
             tracker=WorkflowStatusTracker(bus),
+            store=store,
+            health=health,
+            estimators=estimators,
             port=args.serve_telemetry,
+            # repro top derives event/progress rates from these levels.
+            extra_health=lambda: {
+                "sim_now": reactor.now(),
+                "bus_publishes": bus.stats()["publishes"],
+            },
         )
         server.start()
         print(
-            f"telemetry: serving {server.url}/metrics, /healthz, "
-            f"/workflows, /workflows/<id>"
+            f"telemetry: serving {server.url}/metrics, /healthz, /health, "
+            f"/alerts, /timeseries, /workflows (watch with: repro.cli top "
+            f"{server.url})"
         )
-    return server, recorder
+    return server, recorder, collector
 
 
-def _stop_telemetry(args: argparse.Namespace, server, recorder) -> None:
+def _stop_telemetry(
+    args: argparse.Namespace, server, recorder, collector=None
+) -> None:
+    if collector is not None:
+        collector.stop()
     if recorder is not None:
         recorder.close()
         stats = recorder.stats()
@@ -292,9 +356,10 @@ def _run_single(args: argparse.Namespace, grid, engine: WorkflowEngine) -> int:
     """Shared ``run``/``resume`` body: telemetry rig, (paced) drive,
     report, export, teardown."""
     observer = _attach_observer(args, engine)
-    server, recorder = _start_telemetry(
+    server, recorder, collector = _start_telemetry(
         args,
-        engine.runtime.bus,
+        engine.runtime,
+        grid,
         observer.metrics if observer is not None else None,
     )
     try:
@@ -321,7 +386,7 @@ def _run_single(args: argparse.Namespace, grid, engine: WorkflowEngine) -> int:
         if observer is not None:
             _export_observation(args, observer, grid, engine)
     finally:
-        _stop_telemetry(args, server, recorder)
+        _stop_telemetry(args, server, recorder, collector)
     return 0 if result.succeeded else 1
 
 
@@ -343,9 +408,10 @@ def _run_multiplexed(args: argparse.Namespace, grid, workflows) -> int:
         observer = RunObserver(
             host.runtime.bus, clock=host.runtime.reactor.now
         )
-    server, recorder = _start_telemetry(
+    server, recorder, collector = _start_telemetry(
         args,
-        host.runtime.bus,
+        host.runtime,
+        grid,
         observer.metrics if observer is not None else None,
     )
     try:
@@ -379,7 +445,7 @@ def _run_multiplexed(args: argparse.Namespace, grid, workflows) -> int:
         if observer is not None:
             _export_observation(args, observer, grid, _HostFacade(host))
     finally:
-        _stop_telemetry(args, server, recorder)
+        _stop_telemetry(args, server, recorder, collector)
     return 0 if succeeded == len(results) else 1
 
 
@@ -545,6 +611,24 @@ def _mc_ci_target(args: argparse.Namespace):
         rel=args.target_ci,
         min_runs=min_runs,
         max_runs=max(max_runs, min_runs),
+    )
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a ``--serve-telemetry`` endpoint."""
+    from .obs import run_top
+
+    url = args.url
+    if "://" not in url:
+        url = f"http://{url}"
+    return run_top(
+        url,
+        interval=args.interval,
+        once=args.once,
+        as_json=args.json,
+        color=not args.no_color,
+        frames=args.frames,
+        retry_for=args.retry_for,
     )
 
 
@@ -903,6 +987,15 @@ def build_parser() -> argparse.ArgumentParser:
             "/workflows/<id>",
         )
         p.add_argument(
+            "--telemetry-interval",
+            type=float,
+            default=5.0,
+            metavar="SECS",
+            help="virtual-seconds cadence of the statistical collector: "
+            "time-series samples, estimator exports, health-rule "
+            "evaluation (default: 5)",
+        )
+        p.add_argument(
             "--telemetry-linger",
             type=float,
             default=0.0,
@@ -988,6 +1081,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable timelines"
     )
     p_inspect.set_defaults(fn=cmd_inspect)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a --serve-telemetry endpoint",
+    )
+    p_top.add_argument(
+        "url",
+        help="telemetry server, e.g. 127.0.0.1:9100 or http://host:9100",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="wall seconds between redraws (default: 1)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (CI-friendly; no screen clear)",
+    )
+    p_top.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw frame dicts instead of the rendered dashboard",
+    )
+    p_top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N redraws (default: until interrupted)",
+    )
+    p_top.add_argument(
+        "--no-color", action="store_true", help="disable ANSI colors"
+    )
+    p_top.add_argument(
+        "--retry-for",
+        type=float,
+        default=20.0,
+        metavar="SECS",
+        help="keep retrying connection errors for SECS before giving up "
+        "(the server may still be binding; default: 20)",
+    )
+    p_top.set_defaults(fn=cmd_top)
 
     p_mc = sub.add_parser(
         "mc", help="Monte-Carlo expected-completion-time estimation"

@@ -178,6 +178,12 @@ class FailureDetector:
         if self.monitor is not None:
             self.monitor.reset()
 
+    def liveness_snapshot(self) -> list[dict]:
+        """Per-host beat/suspicion counters from the heartbeat monitor
+        (empty when heartbeat detection is off) — the feed the telemetry
+        plane's estimators derive heartbeat-loss rates from."""
+        return self.monitor.snapshot() if self.monitor is not None else []
+
     # -- registration --------------------------------------------------------
 
     def track(

@@ -38,6 +38,9 @@ class HostLiveness:
     suspected: bool = False
     #: Number of times this host has been suspected (diagnostics).
     suspicions: int = 0
+    #: Heartbeats observed from this host (the telemetry plane's
+    #: heartbeat-loss feed divides suspicions by this).
+    beats: int = 0
 
 
 class HeartbeatMonitor:
@@ -112,11 +115,12 @@ class HeartbeatMonitor:
         record = self._hosts.get(beat.hostname)
         if record is None:
             self._hosts[beat.hostname] = HostLiveness(
-                hostname=beat.hostname, last_beat=now, last_seq=beat.seq
+                hostname=beat.hostname, last_beat=now, last_seq=beat.seq, beats=1
             )
             return
         record.last_beat = now
         record.last_seq = beat.seq
+        record.beats += 1
         if record.suspected:
             record.suspected = False
             self.false_suspicions += 1
@@ -134,17 +138,23 @@ class HeartbeatMonitor:
         """
         now = self._reactor.now()
         latest: dict[str, Heartbeat] = {}
+        counts: dict[str, int] = {}
         for beat in beats:
             latest[beat.hostname] = beat
+            counts[beat.hostname] = counts.get(beat.hostname, 0) + 1
         for hostname, beat in latest.items():
             record = self._hosts.get(hostname)
             if record is None:
                 self._hosts[hostname] = HostLiveness(
-                    hostname=hostname, last_beat=now, last_seq=beat.seq
+                    hostname=hostname,
+                    last_beat=now,
+                    last_seq=beat.seq,
+                    beats=counts[hostname],
                 )
                 continue
             record.last_beat = now
             record.last_seq = beat.seq
+            record.beats += counts[hostname]
             if record.suspected:
                 record.suspected = False
                 self.false_suspicions += 1
@@ -184,3 +194,17 @@ class HeartbeatMonitor:
 
     def suspected_hosts(self) -> list[str]:
         return sorted(h.hostname for h in self._hosts.values() if h.suspected)
+
+    def snapshot(self) -> list[dict]:
+        """JSON-safe per-host liveness counters — the heartbeat-loss feed
+        the estimator suite ingests on the collector cadence."""
+        return [
+            {
+                "host": record.hostname,
+                "beats": record.beats,
+                "suspicions": record.suspicions,
+                "suspected": record.suspected,
+                "last_beat": record.last_beat,
+            }
+            for record in sorted(self._hosts.values(), key=lambda r: r.hostname)
+        ]

@@ -44,7 +44,11 @@ from .broker import Broker
 from .engine import EngineRuntime, WorkflowEngine, WorkflowResult
 from .strategies import RecoveryStrategy
 
-__all__ = ["EngineHost"]
+__all__ = ["EngineHost", "ENGINE_WORKFLOW_ADMITTED"]
+
+#: Published once per :meth:`EngineHost.submit`, before the instance's
+#: first node launches (payload: ``workflow``, ``workflow_id``, ``at``).
+ENGINE_WORKFLOW_ADMITTED = "engine.workflow_admitted"
 
 
 class EngineHost:
@@ -133,6 +137,17 @@ class EngineHost:
         )
         self._engines[wfid] = engine
         self._order.append(wfid)
+        # Narrate admission before the first node launches so live
+        # trackers (/workflows, repro top) list the instance from the
+        # moment it exists, not from its first task.
+        self.runtime.bus.publish(
+            ENGINE_WORKFLOW_ADMITTED,
+            {
+                "workflow": workflow.name,
+                "workflow_id": wfid,
+                "at": self.runtime.reactor.now(),
+            },
+        )
         engine.start()
         return wfid
 

@@ -90,6 +90,10 @@ class _Slot:
     retry_timer: TimerHandle | None = None
     #: Performance-failure watchdog for the in-flight attempt.
     timeout_timer: TimerHandle | None = None
+    #: Host the in-flight (or last) attempt ran on — carried into the
+    #: ``recovery.retry``/``recovery.exhausted`` narration so the drift
+    #: estimators can attribute recovery churn per host.
+    last_host: str = ""
     #: Causal context of the in-flight (or last) attempt on this slot.
     attempt_trace: TraceContext | None = None
     #: Context of the recovery decision that will parent the next attempt
@@ -392,6 +396,7 @@ class RecoveryCoordinator:
             workflow_id=self.workflow_id,
         )
         slot.tries_used += 1
+        slot.last_host = target.hostname
         job_id = self._service.submit(request)
         slot.active_job = job_id
         self._job_index[job_id] = (run.activity.name, slot.index)
@@ -438,6 +443,7 @@ class RecoveryCoordinator:
                         "option": decision.option_index,
                         "delay": decision.delay,
                         "tries": slot.tries_used,
+                        "host": slot.last_host,
                     },
                     decision_ctx,
                 ),
@@ -460,6 +466,7 @@ class RecoveryCoordinator:
                     "activity": run.activity.name,
                     "slot": slot.index,
                     "tries": slot.tries_used,
+                    "host": slot.last_host,
                 },
                 exhausted_ctx,
             ),

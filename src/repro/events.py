@@ -253,15 +253,28 @@ class EventBus:
 
     # -- diagnostics -------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, int | float]:
         """Dispatch-path counters: interned topic routes, route builds
-        (full matching passes), and live subscription-group counts."""
+        (full matching passes), and live subscription-group counts.
+
+        ``prefix_patterns`` / ``regex_patterns`` split the pattern
+        entries by matching strategy, and ``prefix_fastpath_share`` is
+        the fraction of live patterns on the ``startswith`` fast path —
+        all derived here, never maintained on the publish path.
+        """
+        prefix_patterns = sum(
+            1 for entry in self._patterns if entry.prefix is not None
+        )
         return {
             "publishes": self._seq,
             "cached_routes": len(self._routes),
             "route_builds": self.route_builds,
             "exact_topics": len(self._exact),
             "pattern_entries": len(self._patterns),
+            "prefix_patterns": prefix_patterns,
+            "regex_patterns": len(self._patterns) - prefix_patterns,
+            "prefix_fastpath_share": prefix_patterns
+            / max(1, len(self._patterns)),
             "taps": len(self._taps),
         }
 

@@ -24,6 +24,17 @@ endpoint behind ``--serve-telemetry``).
 """
 
 from .core import NULL_OBS, Observability
+from .dashboard import TopClient, render_frame, run_top
+from .estimators import (
+    DRIFT_MTTF,
+    ActivityEstimator,
+    EstimatorSuite,
+    Ewma,
+    HostEstimator,
+    PageHinkley,
+    priors_from_grid,
+    wilson_interval,
+)
 from .export import (
     atomic_write_text,
     chrome_trace,
@@ -31,6 +42,13 @@ from .export import (
     prometheus_text,
     write_chrome_trace,
     write_jsonl,
+)
+from .health import (
+    ALERT_FIRED,
+    ALERT_RESOLVED,
+    HealthEngine,
+    HealthRule,
+    default_rules,
 )
 from .metrics import (
     ATTEMPT_BUCKETS,
@@ -58,24 +76,45 @@ from .postmortem import (
 from .recorder import FlightRecorder
 from .server import TelemetryServer, WorkflowStatusTracker
 from .spans import Span, SpanRecorder
+from .timeseries import (
+    HistogramSeries,
+    PeriodicCollector,
+    Series,
+    TimeSeriesStore,
+)
 from .tracectx import TraceContext, Tracer, stamp
 
 __all__ = [
+    "ALERT_FIRED",
+    "ALERT_RESOLVED",
     "ATTEMPT_BUCKETS",
-    "DEFAULT_BUCKETS",
+    "ActivityEstimator",
     "Counter",
+    "DEFAULT_BUCKETS",
+    "DRIFT_MTTF",
+    "EstimatorSuite",
+    "Ewma",
     "FlightRecorder",
     "Gauge",
+    "HealthEngine",
+    "HealthRule",
     "Histogram",
+    "HistogramSeries",
+    "HostEstimator",
     "MetricsError",
     "MetricsRegistry",
     "NULL_OBS",
     "Observability",
+    "PageHinkley",
+    "PeriodicCollector",
     "RecordedEvent",
     "RunObserver",
+    "Series",
     "Span",
     "SpanRecorder",
     "TelemetryServer",
+    "TimeSeriesStore",
+    "TopClient",
     "TraceContext",
     "Tracer",
     "WorkflowStatusTracker",
@@ -83,15 +122,20 @@ __all__ = [
     "atomic_write_text",
     "build_timelines",
     "chrome_trace",
+    "default_rules",
     "jsonl_lines",
     "load_recording",
+    "priors_from_grid",
     "prometheus_text",
+    "render_frame",
     "render_report",
+    "run_top",
     "scrape_bus",
     "scrape_detector",
     "scrape_grid",
     "scrape_kernel",
     "stamp",
+    "wilson_interval",
     "write_chrome_trace",
     "write_jsonl",
 ]

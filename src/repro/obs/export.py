@@ -155,7 +155,8 @@ def prometheus_text(registry: "MetricsRegistry") -> str:
     """The registry in Prometheus text exposition format (version 0.0.4).
 
     Histograms render cumulatively with the conventional ``_bucket``
-    (``le`` upper bounds, ``+Inf`` last), ``_sum`` and ``_count`` series.
+    (``le`` upper bounds, ``+Inf`` last), ``_sum`` and ``_count`` series,
+    plus ``_p50``/``_p95``/``_p99`` summary lines (bucket upper bounds).
     """
     lines: list[str] = []
     for family in registry.families():
@@ -182,6 +183,14 @@ def prometheus_text(registry: "MetricsRegistry") -> str:
                 lines.append(
                     f"{name}_count{_prom_labels(labels)} {instrument.count}"
                 )
+                # Summary-style quantile lines (bucket upper bounds, the
+                # best a bucketed histogram can report) so scrape-side
+                # dashboards get tail latency without PromQL.
+                for q in (0.5, 0.95, 0.99):
+                    lines.append(
+                        f"{name}_p{int(q * 100)}{_prom_labels(labels)} "
+                        f"{_prom_value(instrument.quantile(q))}"
+                    )
             else:
                 lines.append(
                     f"{name}{_prom_labels(labels)} {_prom_value(instrument.value)}"

@@ -463,6 +463,18 @@ def scrape_bus(registry: "MetricsRegistry", bus: "EventBus") -> None:
         "bus_route_cache_hit_rate",
         help="publishes served without a matching pass",
     ).set(1.0 - stats["route_builds"] / max(1, stats["publishes"]))
+    gauge(
+        "bus_prefix_patterns",
+        help="wildcard patterns on the startswith fast path",
+    ).set(stats["prefix_patterns"])
+    gauge(
+        "bus_regex_patterns",
+        help="wildcard patterns requiring a compiled regex",
+    ).set(stats["regex_patterns"])
+    gauge(
+        "bus_prefix_fastpath_share",
+        help="fraction of live patterns matched via startswith",
+    ).set(stats["prefix_fastpath_share"])
 
 
 def scrape_grid(registry: "MetricsRegistry", grid: "SimulatedGrid") -> None:

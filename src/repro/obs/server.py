@@ -7,9 +7,19 @@ thread, while the reactor drives workflows on the main thread:
 * ``GET /metrics``          — the live :class:`~repro.obs.metrics.MetricsRegistry`
   in Prometheus text exposition format (scrape-able mid-run);
 * ``GET /healthz``          — liveness + a tiny run summary;
+* ``GET /health``           — the full statistical health view: the rule
+  engine's snapshot plus estimator state (when wired);
+* ``GET /alerts``           — firing alerts and the fired/resolved history;
+* ``GET /timeseries``       — series names held by the store;
+* ``GET /timeseries/<name>``— every labelled ring of one series family;
 * ``GET /workflows``        — JSON status of every admitted instance;
 * ``GET /workflows/<id>``   — one instance in full: phase, in-flight
   nodes, attempt/verdict counts, last recovery action, causal trace id.
+
+Every GET route answers HEAD with identical headers and no body; unknown
+paths are JSON 404s and non-GET/HEAD methods JSON 405s (with ``Allow``),
+both with ``application/json`` Content-Type — probing scrapers and load
+balancers see consistent behaviour.
 
 Status is maintained by :class:`WorkflowStatusTracker`, a bus subscriber
 — not by poking engine internals from the server thread.  All mutation
@@ -26,7 +36,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 
 from ..events import EventBus, Subscription
-from .export import prometheus_text
+from .export import _finite, prometheus_text
 from .metrics import MetricsRegistry
 
 __all__ = ["WorkflowStatusTracker", "TelemetryServer"]
@@ -98,7 +108,11 @@ class WorkflowStatusTracker:
         if trace and not entry["trace_id"]:
             entry["trace_id"] = str(trace)
         node = payload.get("node")
-        if topic == "engine.node_launched":
+        if topic == "engine.workflow_admitted":
+            if entry["nodes_launched"] == 0 and entry["phase"] == "running":
+                entry["phase"] = "admitted"
+        elif topic == "engine.node_launched":
+            entry["phase"] = "running"
             entry["nodes_launched"] += 1
             running = list(entry["running_nodes"])
             running.append(str(node))
@@ -170,9 +184,11 @@ class TelemetryServer:
     """Serves ``/metrics``, ``/healthz`` and ``/workflows`` from a thread.
 
     *registry* feeds ``/metrics``; *tracker* feeds the workflow routes;
-    *extra_health* (an optional callable returning a dict) is merged into
-    ``/healthz`` for run-specific detail.  ``port=0`` binds an ephemeral
-    port — read :attr:`port` after :meth:`start`.
+    *store*, *health* and *estimators* (the statistical plane) feed
+    ``/timeseries``, ``/health`` and ``/alerts``; *extra_health* (an
+    optional callable returning a dict) is merged into ``/healthz`` for
+    run-specific detail.  ``port=0`` binds an ephemeral port — read
+    :attr:`port` after :meth:`start`.
     """
 
     def __init__(
@@ -180,12 +196,18 @@ class TelemetryServer:
         *,
         registry: MetricsRegistry | None = None,
         tracker: WorkflowStatusTracker | None = None,
+        store: Any = None,
+        health: Any = None,
+        estimators: Any = None,
         host: str = "127.0.0.1",
         port: int = 0,
         extra_health: Callable[[], dict[str, Any]] | None = None,
     ) -> None:
         self.registry = registry
         self.tracker = tracker
+        self.store = store
+        self.health = health
+        self.estimators = estimators
         self.host = host
         self.port = port
         self.extra_health = extra_health
@@ -260,6 +282,74 @@ class TelemetryServer:
             return None
         return self.tracker.status_of(workflow_id)
 
+    def render_health_full(self) -> dict[str, Any]:
+        """``/health``: rule engine snapshot + estimator state + the
+        ``/healthz`` summary, in one statistical health view."""
+        out = {"summary": self.render_health()}
+        out["rules"] = (
+            self.health.snapshot()
+            if self.health is not None
+            else {"status": "ok", "rules": []}
+        )
+        if self.estimators is not None:
+            out["estimators"] = self.estimators.snapshot()
+        return out
+
+    def render_alerts(self) -> dict[str, Any]:
+        if self.health is None:
+            return {"firing": [], "history": []}
+        return self.health.alerts()
+
+    def render_timeseries_index(self) -> dict[str, Any]:
+        if self.store is None:
+            return {"series": []}
+        return {"series": self.store.names()}
+
+    def render_timeseries(self, name: str) -> dict[str, Any] | None:
+        """Every labelled ring of one series family (value series and
+        histogram tracks both), or None when the family is unknown."""
+        if self.store is None:
+            return None
+        series = [
+            {
+                "labels": dict(s.labels),
+                "kind": s.kind,
+                "step": s.step,
+                "points": s.points(),
+            }
+            for s in self.store.matching(name)
+        ]
+        histograms = [
+            {
+                "labels": dict(h.labels),
+                "bounds": list(h.bounds),
+                "step": h.step,
+                "p50": _finite(h.quantile(0.5)),
+                "p95": _finite(h.quantile(0.95)),
+                "p99": _finite(h.quantile(0.99)),
+                "observations": h.observations(),
+            }
+            for h in self.store.matching_histograms(name)
+        ]
+        if not series and not histograms:
+            return None
+        return {"name": name, "series": series, "histograms": histograms}
+
+
+_ROUTES = [
+    "/metrics",
+    "/healthz",
+    "/health",
+    "/alerts",
+    "/timeseries",
+    "/timeseries/<name>",
+    "/workflows",
+    "/workflows/<id>",
+]
+
+_PROM_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON_TYPE = "application/json"
+
 
 def _make_handler(server: TelemetryServer) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
@@ -267,36 +357,45 @@ def _make_handler(server: TelemetryServer) -> type[BaseHTTPRequestHandler]:
         def log_message(self, *_args: Any) -> None:
             pass
 
-        def _send(
-            self, status: int, body: bytes, content_type: str
-        ) -> None:
-            self.send_response(status)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-
-        def _send_json(self, status: int, payload: Any) -> None:
+        def _json(self, status: int, payload: Any) -> tuple[int, str, bytes]:
             body = json.dumps(payload, indent=1, sort_keys=True).encode()
-            self._send(status, body, "application/json")
+            return status, _JSON_TYPE, body
 
-        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        def _route(self) -> tuple[int, str, bytes]:
+            """Resolve the request path to ``(status, content_type,
+            body)`` — shared by GET and HEAD so the two always agree."""
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
             if path == "/metrics":
-                self._send(
-                    200,
-                    server.render_metrics().encode(),
-                    "text/plain; version=0.0.4; charset=utf-8",
-                )
-            elif path == "/healthz":
-                self._send_json(200, server.render_health())
-            elif path == "/workflows":
-                self._send_json(200, server.render_workflows())
-            elif path.startswith("/workflows/"):
+                return 200, _PROM_TYPE, server.render_metrics().encode()
+            if path == "/healthz":
+                return self._json(200, server.render_health())
+            if path == "/health":
+                return self._json(200, server.render_health_full())
+            if path == "/alerts":
+                return self._json(200, server.render_alerts())
+            if path == "/timeseries":
+                return self._json(200, server.render_timeseries_index())
+            if path.startswith("/timeseries/"):
+                name = path[len("/timeseries/") :]
+                payload = server.render_timeseries(name)
+                if payload is None:
+                    return self._json(
+                        404,
+                        {
+                            "error": f"unknown series {name!r}",
+                            "known": server.store.names()
+                            if server.store is not None
+                            else [],
+                        },
+                    )
+                return self._json(200, payload)
+            if path == "/workflows":
+                return self._json(200, server.render_workflows())
+            if path.startswith("/workflows/"):
                 wfid = path[len("/workflows/") :]
                 status = server.render_workflow(wfid)
                 if status is None:
-                    self._send_json(
+                    return self._json(
                         404,
                         {
                             "error": f"unknown workflow {wfid!r}",
@@ -305,21 +404,42 @@ def _make_handler(server: TelemetryServer) -> type[BaseHTTPRequestHandler]:
                             else [],
                         },
                     )
-                else:
-                    self._send_json(200, status)
-            elif path == "/":
-                self._send_json(
-                    200,
-                    {
-                        "routes": [
-                            "/metrics",
-                            "/healthz",
-                            "/workflows",
-                            "/workflows/<id>",
-                        ]
-                    },
-                )
-            else:
-                self._send_json(404, {"error": f"no route {path!r}"})
+                return self._json(200, status)
+            if path == "/":
+                return self._json(200, {"routes": list(_ROUTES)})
+            return self._json(404, {"error": f"no route {path!r}"})
+
+        def _respond(self, *, head_only: bool) -> None:
+            status, content_type, body = self._route()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            if not head_only:
+                self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            self._respond(head_only=False)
+
+        def do_HEAD(self) -> None:  # noqa: N802 (http.server API)
+            self._respond(head_only=True)
+
+        def _method_not_allowed(self) -> None:
+            status, content_type, body = self._json(
+                405,
+                {
+                    "error": f"method {self.command} not allowed "
+                    "(telemetry is read-only)",
+                    "allow": ["GET", "HEAD"],
+                },
+            )
+            self.send_response(status)
+            self.send_header("Allow", "GET, HEAD")
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        do_POST = do_PUT = do_DELETE = do_PATCH = _method_not_allowed
 
     return Handler

@@ -1,0 +1,577 @@
+"""Bounded ring-buffer time-series store for the live telemetry plane.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` answers "what is the
+value *now*"; this module answers "what has it been doing".  A
+:class:`TimeSeriesStore` holds one :class:`Series` ring per (name,
+labels) pair, downsampled into fixed-step buckets on the **simulation
+clock**, with per-series retention (``capacity`` buckets — the oldest
+bucket falls off when a newer one arrives).  Histograms are tracked as
+:class:`HistogramSeries`: periodic snapshots of the cumulative bucket
+counts, so windowed quantiles come from count *deltas* between two
+snapshots rather than the whole run.
+
+Design mirrors the registry on purpose:
+
+* **cheap when off** — a store constructed with ``enabled=False`` hands
+  out shared no-op series and records nothing;
+* **mergeable** — :meth:`TimeSeriesStore.snapshot` /
+  :meth:`TimeSeriesStore.merge` fold bucket-aligned points across
+  processes the way registry snapshots fold counters;
+* **export-agnostic** — :meth:`dump_jsonl` / :meth:`to_csv` are pure
+  renderings of the rings.
+
+Feeding happens on a cadence: :class:`PeriodicCollector` re-runs the
+end-of-run scrapers against the live registry and samples every registry
+family into the store on a recurring reactor timer, so ``/timeseries``
+and the drift/health layers see the same numbers ``/metrics`` serves.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
+
+from .export import atomic_write_text
+from .metrics import LabelItems, _label_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reactor import Reactor, TimerHandle
+    from .metrics import MetricsRegistry
+
+__all__ = [
+    "Series",
+    "HistogramSeries",
+    "TimeSeriesStore",
+    "PeriodicCollector",
+]
+
+#: Point layout inside a :class:`Series` ring (plain lists keep the
+#: per-sample cost to index assignments): bucket start time, observation
+#: count, sum, min, max, last.
+_T, _N, _SUM, _MIN, _MAX, _LAST = range(6)
+
+
+class Series:
+    """One metric's history: fixed-step buckets in a bounded ring.
+
+    ``kind`` shapes the window queries:
+
+    * ``"gauge"``   — sampled level; :meth:`rate` is the slope;
+    * ``"counter"`` — sampled monotone total; :meth:`rate` is the delta
+      of *last* values over the window span;
+    * ``"event"``   — each observation is one occurrence; :meth:`rate`
+      is occurrences per second.
+    """
+
+    __slots__ = ("name", "labels", "kind", "step", "capacity", "_points")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        labels: LabelItems = (),
+        kind: str = "gauge",
+        step: float = 1.0,
+        capacity: int = 512,
+    ) -> None:
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step!r}")
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity!r}")
+        if kind not in ("gauge", "counter", "event"):
+            raise ValueError(f"unknown series kind {kind!r}")
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        self.step = step
+        self.capacity = capacity
+        self._points: list[list[float]] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def observe(self, t: float, value: float = 1.0) -> None:
+        """Record *value* at simulation time *t* (downsampled into the
+        ``t // step`` bucket; out-of-order samples fold into the newest
+        bucket rather than being dropped)."""
+        bucket = math.floor(t / self.step) * self.step
+        points = self._points
+        if points:
+            last = points[-1]
+            if bucket <= last[_T]:
+                last[_N] += 1
+                last[_SUM] += value
+                if value < last[_MIN]:
+                    last[_MIN] = value
+                if value > last[_MAX]:
+                    last[_MAX] = value
+                last[_LAST] = value
+                return
+        points.append([bucket, 1, value, value, value, value])
+        if len(points) > self.capacity:
+            del points[0]
+
+    # -- window queries ------------------------------------------------------
+
+    def points(
+        self, since: float | None = None, until: float | None = None
+    ) -> list[dict[str, float]]:
+        """JSON-safe points in ``[since, until]`` (whole ring by default)."""
+        return [
+            {
+                "t": p[_T],
+                "count": p[_N],
+                "sum": p[_SUM],
+                "min": p[_MIN],
+                "max": p[_MAX],
+                "last": p[_LAST],
+            }
+            for p in self._window(since, until)
+        ]
+
+    def _window(
+        self, since: float | None, until: float | None
+    ) -> list[list[float]]:
+        out = self._points
+        if since is not None:
+            out = [p for p in out if p[_T] >= since]
+        if until is not None:
+            out = [p for p in out if p[_T] <= until]
+        return out
+
+    def latest(self) -> float | None:
+        """Most recent observed value, or None on an empty ring."""
+        return self._points[-1][_LAST] if self._points else None
+
+    def mean(self, since: float | None = None) -> float | None:
+        """Mean of the raw observations in the window."""
+        window = self._window(since, None)
+        total = sum(p[_N] for p in window)
+        if not total:
+            return None
+        return sum(p[_SUM] for p in window) / total
+
+    def rate(self, since: float | None = None) -> float | None:
+        """Per-second rate over the window (see class docstring for how
+        each kind derives it); None when the window can't support one."""
+        window = self._window(since, None)
+        if not window:
+            return None
+        if self.kind == "event":
+            span = window[-1][_T] - window[0][_T] + self.step
+            return sum(p[_N] for p in window) / span
+        if len(window) < 2:
+            return None
+        span = window[-1][_T] - window[0][_T]
+        if span <= 0:
+            return None
+        return (window[-1][_LAST] - window[0][_LAST]) / span
+
+
+class HistogramSeries:
+    """Periodic snapshots of one histogram's cumulative bucket counts.
+
+    Each sample stores ``(bucket_time, counts_tuple, count, sum)``;
+    :meth:`quantile` differences the first and last snapshot of a window
+    and reads the bucket-resolution quantile off the *delta* counts —
+    "p95 over the last 60 virtual seconds", not since process start.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "step", "capacity", "_samples")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: tuple[float, ...],
+        *,
+        labels: LabelItems = (),
+        step: float = 1.0,
+        capacity: int = 512,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.step = step
+        self.capacity = capacity
+        self._samples: list[tuple[float, tuple[int, ...], int, float]] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sample(
+        self, t: float, counts: list[int] | tuple[int, ...], count: int, total: float
+    ) -> None:
+        bucket = math.floor(t / self.step) * self.step
+        record = (bucket, tuple(counts), count, total)
+        if self._samples and bucket <= self._samples[-1][0]:
+            self._samples[-1] = record
+            return
+        self._samples.append(record)
+        if len(self._samples) > self.capacity:
+            del self._samples[0]
+
+    def _delta(
+        self, since: float | None
+    ) -> tuple[list[int], int, float] | None:
+        if not self._samples:
+            return None
+        newest = self._samples[-1]
+        base: tuple[float, tuple[int, ...], int, float] | None = None
+        if since is not None:
+            for record in reversed(self._samples):
+                if record[0] < since:
+                    base = record
+                    break
+        if base is None:
+            counts = list(newest[1])
+            return counts, newest[2], newest[3]
+        counts = [n - b for n, b in zip(newest[1], base[1])]
+        return counts, newest[2] - base[2], newest[3] - base[3]
+
+    def quantile(self, q: float, since: float | None = None) -> float:
+        """Windowed bucket-resolution quantile (upper bound of the bucket
+        holding the q-th delta observation; NaN on an empty window)."""
+        delta = self._delta(since)
+        if delta is None or delta[1] <= 0:
+            return float("nan")
+        counts, count, _ = delta
+        target = q * count
+        seen = 0
+        for i, n in enumerate(counts):
+            seen += n
+            if seen >= target and n:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def observations(self, since: float | None = None) -> int:
+        delta = self._delta(since)
+        return 0 if delta is None else delta[1]
+
+
+class _NullSeries:
+    """Shared do-nothing series a disabled store hands out."""
+
+    __slots__ = ()
+    name = ""
+    labels: LabelItems = ()
+    kind = "gauge"
+    step = 1.0
+    capacity = 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def observe(self, t: float, value: float = 1.0) -> None:
+        pass
+
+    def points(self, since=None, until=None):
+        return []
+
+    def latest(self):
+        return None
+
+    def mean(self, since=None):
+        return None
+
+    def rate(self, since=None):
+        return None
+
+
+_NULL_SERIES = _NullSeries()
+
+
+class TimeSeriesStore:
+    """Label-keyed table of bounded series rings.
+
+    ``step`` and ``capacity`` are store-wide defaults; individual series
+    may override both.  A store constructed with ``enabled=False``
+    returns the shared no-op series and records nothing — the disabled
+    telemetry path stays allocation-free.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        step: float = 1.0,
+        capacity: int = 512,
+    ) -> None:
+        self.enabled = enabled
+        self.step = step
+        self.capacity = capacity
+        self._series: dict[tuple[str, LabelItems], Series] = {}
+        self._histograms: dict[tuple[str, LabelItems], HistogramSeries] = {}
+
+    # -- series lookup -------------------------------------------------------
+
+    def series(
+        self,
+        name: str,
+        *,
+        kind: str = "gauge",
+        step: float | None = None,
+        capacity: int | None = None,
+        **labels: Any,
+    ) -> Series | _NullSeries:
+        if not self.enabled:
+            return _NULL_SERIES
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = Series(
+                name,
+                labels=key[1],
+                kind=kind,
+                step=step if step is not None else self.step,
+                capacity=capacity if capacity is not None else self.capacity,
+            )
+            self._series[key] = series
+        return series
+
+    def histogram_series(
+        self,
+        name: str,
+        bounds: tuple[float, ...],
+        *,
+        step: float | None = None,
+        capacity: int | None = None,
+        **labels: Any,
+    ) -> HistogramSeries | None:
+        if not self.enabled:
+            return None
+        key = (name, _label_key(labels))
+        series = self._histograms.get(key)
+        if series is None:
+            series = HistogramSeries(
+                name,
+                bounds,
+                labels=key[1],
+                step=step if step is not None else self.step,
+                capacity=capacity if capacity is not None else self.capacity,
+            )
+            self._histograms[key] = series
+        return series
+
+    def observe(
+        self, name: str, t: float, value: float = 1.0, *, kind: str = "gauge",
+        **labels: Any,
+    ) -> None:
+        self.series(name, kind=kind, **labels).observe(t, value)
+
+    # -- registry sampling ---------------------------------------------------
+
+    def collect(self, registry: "MetricsRegistry", now: float) -> None:
+        """Sample every registry family into the store at time *now*:
+        counters and gauges land in value series, histograms in
+        cumulative-count snapshots."""
+        if not self.enabled:
+            return
+        for family in registry.families():
+            if family.kind == "histogram":
+                for key, hist in family.series.items():
+                    track = self._histograms.get((family.name, key))
+                    if track is None:
+                        track = self._histograms[(family.name, key)] = (
+                            HistogramSeries(
+                                family.name,
+                                hist.bounds,
+                                labels=key,
+                                step=self.step,
+                                capacity=self.capacity,
+                            )
+                        )
+                    track.sample(now, hist.counts, hist.count, hist.sum)
+            else:
+                kind = "counter" if family.kind == "counter" else "gauge"
+                for key, instrument in family.series.items():
+                    series = self._series.get((family.name, key))
+                    if series is None:
+                        series = self._series[(family.name, key)] = Series(
+                            family.name,
+                            labels=key,
+                            kind=kind,
+                            step=self.step,
+                            capacity=self.capacity,
+                        )
+                    series.observe(now, instrument.value)
+
+    # -- queries -------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        names = {name for name, _ in self._series}
+        names.update(name for name, _ in self._histograms)
+        return sorted(names)
+
+    def get(self, name: str, **labels: Any) -> Series | None:
+        return self._series.get((name, _label_key(labels)))
+
+    def all_series(self) -> Iterator[Series]:
+        return iter(self._series.values())
+
+    def matching(self, name: str) -> list[Series]:
+        """Every labelled series of one family name."""
+        return [s for (n, _), s in self._series.items() if n == name]
+
+    def matching_histograms(self, name: str) -> list[HistogramSeries]:
+        return [s for (n, _), s in self._histograms.items() if n == name]
+
+    # -- snapshots (cross-process aggregation) -------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every series ring (the merge wire format)."""
+        out: dict[str, list[dict[str, Any]]] = {}
+        for (name, _key), series in self._series.items():
+            out.setdefault(name, []).append(
+                {
+                    "labels": dict(series.labels),
+                    "kind": series.kind,
+                    "step": series.step,
+                    "points": series.points(),
+                }
+            )
+        return out
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another store's :meth:`snapshot` into this one: points
+        align by bucket time (counts/sums add, min/max widen, the later
+        snapshot's *last* wins)."""
+        if not self.enabled:
+            return
+        for name, records in snapshot.items():
+            for record in records:
+                series = self.series(
+                    name, kind=record.get("kind", "gauge"), **record["labels"]
+                )
+                by_bucket = {p[_T]: p for p in series._points}
+                for point in record["points"]:
+                    mine = by_bucket.get(point["t"])
+                    if mine is None:
+                        series._points.append(
+                            [
+                                point["t"],
+                                point["count"],
+                                point["sum"],
+                                point["min"],
+                                point["max"],
+                                point["last"],
+                            ]
+                        )
+                    else:
+                        mine[_N] += point["count"]
+                        mine[_SUM] += point["sum"]
+                        mine[_MIN] = min(mine[_MIN], point["min"])
+                        mine[_MAX] = max(mine[_MAX], point["max"])
+                        mine[_LAST] = point["last"]
+                series._points.sort(key=lambda p: p[_T])
+                if len(series._points) > series.capacity:
+                    del series._points[: len(series._points) - series.capacity]
+
+    # -- exports -------------------------------------------------------------
+
+    def dump_jsonl(self, path: str | Path) -> int:
+        """One JSON line per series ring; returns the line count."""
+        lines = []
+        for (name, _key), series in sorted(
+            self._series.items(), key=lambda item: item[0]
+        ):
+            lines.append(
+                json.dumps(
+                    {
+                        "series": name,
+                        "labels": dict(series.labels),
+                        "kind": series.kind,
+                        "step": series.step,
+                        "points": series.points(),
+                    },
+                    sort_keys=True,
+                )
+            )
+        atomic_write_text(path, "".join(line + "\n" for line in lines))
+        return len(lines)
+
+    def to_csv(self, name: str | None = None) -> str:
+        """Flat CSV of the rings (one row per point), optionally filtered
+        to one family name."""
+        rows = ["series,labels,t,count,sum,min,max,last"]
+        for (family, _key), series in sorted(
+            self._series.items(), key=lambda item: item[0]
+        ):
+            if name is not None and family != name:
+                continue
+            label_text = ";".join(f"{k}={v}" for k, v in series.labels)
+            for p in series.points():
+                rows.append(
+                    f"{family},{label_text},{p['t']:g},{p['count']:g},"
+                    f"{p['sum']:g},{p['min']:g},{p['max']:g},{p['last']:g}"
+                )
+        return "\n".join(rows) + "\n"
+
+
+class PeriodicCollector:
+    """Recurring reactor timer feeding the store from the live registry.
+
+    Each tick runs the registered *scrapers* (callables taking the
+    registry — the CLI passes closures over :func:`scrape_bus`,
+    :func:`scrape_kernel`, :func:`scrape_detector`), lets the estimator
+    suite export its gauges, samples every registry family into the
+    store, and finally evaluates the health rules — one cadence for the
+    whole statistical plane, in dependency order.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: TimeSeriesStore,
+        registry: "MetricsRegistry",
+        reactor: "Reactor",
+        interval: float = 5.0,
+        scrapers: tuple[Callable[["MetricsRegistry"], None], ...] = (),
+        estimators: Any = None,
+        health: Any = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self.store = store
+        self.registry = registry
+        self.interval = interval
+        self.scrapers = tuple(scrapers)
+        self.estimators = estimators
+        self.health = health
+        self.ticks = 0
+        self._reactor = reactor
+        self._handle: "TimerHandle | None" = None
+        self._running = False
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _schedule(self) -> None:
+        self._handle = self._reactor.call_later(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.tick()
+        self._schedule()
+
+    def tick(self, now: float | None = None) -> None:
+        """One collection pass (callable directly for tests/benchmarks)."""
+        at = self._reactor.now() if now is None else now
+        for scraper in self.scrapers:
+            scraper(self.registry)
+        if self.estimators is not None:
+            self.estimators.export(self.registry)
+        self.store.collect(self.registry, at)
+        if self.health is not None:
+            self.health.evaluate(at)
+        self.ticks += 1

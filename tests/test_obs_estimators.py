@@ -1,0 +1,303 @@
+"""Estimator tests: the EWMA and Wilson primitives, the Page–Hinkley
+drift detector with its golden detection bounds (a 3× MTTF shift fires
+within 200 events; 10k stationary events stay silent), and the
+EstimatorSuite wired to a live bus — terminal-outcome subscriptions,
+host-failure attribution and dedup, drift event publication with prompt
+health re-evaluation, liveness ingestion, and gauge export."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.events import EventBus
+from repro.grid import UNRELIABLE, GridConfig, SimulatedGrid
+from repro.obs import (
+    DRIFT_MTTF,
+    ActivityEstimator,
+    EstimatorSuite,
+    Ewma,
+    HostEstimator,
+    MetricsRegistry,
+    PageHinkley,
+    priors_from_grid,
+    wilson_interval,
+)
+
+
+class TestEwma:
+    def test_seeds_on_first_sample_then_smooths(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.value is None
+        assert ewma.update(10.0) == 10.0
+        assert ewma.update(20.0) == 15.0
+        assert ewma.n == 2
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+
+class TestWilsonInterval:
+    def test_total_ignorance_at_zero_n(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_known_value(self):
+        low, high = wilson_interval(5, 10)
+        assert low == pytest.approx(0.2366, abs=1e-3)
+        assert high == pytest.approx(0.7634, abs=1e-3)
+
+    def test_interval_narrows_with_evidence(self):
+        low_small, high_small = wilson_interval(3, 6)
+        low_big, high_big = wilson_interval(300, 600)
+        assert (high_big - low_big) < (high_small - low_small)
+        assert 0.0 <= low_big <= high_big <= 1.0
+
+    def test_stays_inside_unit_interval_at_extremes(self):
+        assert wilson_interval(0, 5)[0] == 0.0
+        assert wilson_interval(5, 5)[1] == 1.0
+
+
+class TestPageHinkley:
+    def test_stationary_unit_mean_stays_silent(self):
+        rng = random.Random(1234)
+        detector = PageHinkley()
+        assert not any(
+            detector.update(rng.expovariate(1.0)) for _ in range(10_000)
+        )
+        assert not detector.drifted
+
+    def test_downward_shift_latches_once(self):
+        detector = PageHinkley()
+        edges = [detector.update(1 / 3) for _ in range(200)]
+        assert detector.drifted and detector.direction == "down"
+        assert edges.count(True) == 1  # the latch edge fires exactly once
+        assert detector.drift_at is not None
+
+    def test_upward_shift_detected_too(self):
+        detector = PageHinkley()
+        for _ in range(200):
+            detector.update(3.0)
+        assert detector.drifted and detector.direction == "up"
+
+    def test_min_observations_guard(self):
+        detector = PageHinkley(min_observations=5, threshold=0.1)
+        assert not any(detector.update(0.0) for _ in range(4))
+        assert detector.update(0.0)
+
+    def test_reset_rearms(self):
+        detector = PageHinkley()
+        for _ in range(200):
+            detector.update(1 / 3)
+        detector.reset()
+        assert not detector.drifted and detector.statistic() == 0.0
+        assert detector.n == 0
+
+
+class TestDriftGolden:
+    """The acceptance bounds the CI telemetry-smoke job pins."""
+
+    PRIOR_MTTF = 100.0
+
+    def feed(self, estimator, rng, mean, count):
+        at = estimator.last_failure_at or 0.0
+        for i in range(count):
+            at += rng.expovariate(1.0 / mean)
+            if estimator.record_failure(at):
+                return i + 1
+        return None
+
+    def test_three_fold_mttf_shift_fires_within_200_events(self):
+        estimator = HostEstimator("h1", prior_mttf=self.PRIOR_MTTF)
+        fired_after = self.feed(
+            estimator, random.Random(42), self.PRIOR_MTTF / 3.0, 200
+        )
+        assert fired_after is not None and fired_after <= 200
+        assert estimator.detector.direction == "down"
+
+    def test_ten_thousand_stationary_events_stay_silent(self):
+        estimator = HostEstimator("h1", prior_mttf=self.PRIOR_MTTF)
+        assert (
+            self.feed(estimator, random.Random(42), self.PRIOR_MTTF, 10_000)
+            is None
+        )
+        assert not estimator.detector.drifted
+        # The observed EWMA sits near the prior, as it should.
+        assert estimator.mttf.value == pytest.approx(
+            self.PRIOR_MTTF, rel=0.5
+        )
+
+    def test_unknown_prior_never_feeds_the_detector(self):
+        estimator = HostEstimator("h1")  # prior_mttf=inf
+        assert self.feed(estimator, random.Random(42), 1.0, 1000) is None
+        assert estimator.detector.n == 0
+        assert estimator.failures == 1000
+
+
+class TestHostEstimator:
+    def test_downtime_from_suspected_recovered_spans(self):
+        estimator = HostEstimator("h1")
+        estimator.record_suspected(10.0)
+        estimator.record_suspected(12.0)  # already suspected: no restart
+        estimator.record_recovered(25.0)
+        assert estimator.downtime.value == 15.0
+        estimator.record_recovered(30.0)  # unmatched: ignored
+        assert estimator.downtime.n == 1
+
+    def test_snapshot_shape(self):
+        estimator = HostEstimator("h1", prior_mttf=50.0, prior_downtime=2.0)
+        estimator.record_failure(10.0)
+        estimator.record_failure(40.0)
+        snap = estimator.snapshot()
+        assert snap["host"] == "h1"
+        assert snap["failures"] == 2
+        assert snap["mttf_observed"] == 30.0
+        assert snap["mttf_prior"] == 50.0
+        assert snap["drifted"] is False
+
+
+class _Payload:
+    """Duck-typed stand-in for the engine's AttemptOutcome payloads."""
+
+    def __init__(self, **kw):
+        self.workflow_id = kw.get("workflow_id", "wf-1")
+        self.activity = kw.get("activity", "task")
+        self.reason = kw.get("reason", "")
+        self.hostname = kw.get("hostname", "")
+        self.at = kw.get("at", 0.0)
+
+
+class _HealthSpy:
+    def __init__(self):
+        self.evaluated_at: list[float] = []
+
+    def evaluate(self, at):
+        self.evaluated_at.append(at)
+
+
+class TestEstimatorSuite:
+    def test_terminal_topics_feed_activity_estimators(self):
+        bus = EventBus()
+        suite = EstimatorSuite(bus)
+        bus.publish("task.done.wf-1", _Payload())
+        bus.publish("task.failed.wf-1", _Payload(reason="exit-code"))
+        bus.publish("task.exception.wf-1", _Payload())
+        bus.publish("task.active.wf-1", _Payload())  # non-terminal: ignored
+        estimator = suite.activities[("wf-1", "task")]
+        assert estimator.attempts == 3 and estimator.failures == 2
+        assert estimator.failure_probability() == pytest.approx(2 / 3)
+
+    def test_host_failures_only_from_host_reasons(self):
+        bus = EventBus()
+        suite = EstimatorSuite(bus)
+        bus.publish(
+            "task.failed.wf-1",
+            _Payload(reason="exit-code", hostname="h1", at=5.0),
+        )
+        assert "h1" not in suite.hosts  # a task's own exit is not host MTTF
+        bus.publish(
+            "task.failed.wf-1",
+            _Payload(reason="host-crashed", hostname="h1", at=9.0),
+        )
+        assert suite.hosts["h1"].failures == 1
+
+    def test_replica_co_crash_dedupes_to_one_failure(self):
+        suite = EstimatorSuite()
+        suite.record_host_failure("h1", 10.0)
+        suite.record_host_failure("h1", 10.0)  # replica, same instant
+        suite.record_host_failure("h1", 30.0)
+        assert suite.hosts["h1"].failures == 2
+        assert suite.hosts["h1"].mttf.value == 20.0
+
+    def test_drift_latch_publishes_and_reevaluates_health_promptly(self):
+        bus = EventBus()
+        drift_events = []
+        bus.subscribe("obs.drift.*", lambda t, p: drift_events.append((t, p)))
+        health = _HealthSpy()
+        suite = EstimatorSuite(
+            bus, priors={"h1": (100.0, 0.0)}, health=health
+        )
+        at, fired_at = 0.0, None
+        for _ in range(300):
+            at += 10.0  # 10x faster than the catalog promises
+            suite.record_host_failure("h1", at)
+            if suite.drift_events:
+                fired_at = at
+                break
+        assert fired_at is not None
+        ((topic, payload),) = drift_events
+        assert topic == DRIFT_MTTF
+        assert payload["host"] == "h1" and payload["prior_mttf"] == 100.0
+        assert payload["direction"] == "down"
+        # Health re-evaluated exactly once — on the latch, not per failure.
+        assert health.evaluated_at == [fired_at]
+        # Later failures don't re-publish a latched detector.
+        suite.record_host_failure("h1", at + 10.0)
+        assert suite.drift_events == 1 and len(drift_events) == 1
+        assert suite.drifted_hosts() == ["h1"]
+
+    def test_detach_stops_listening(self):
+        bus = EventBus()
+        suite = EstimatorSuite(bus)
+        suite.detach()
+        bus.publish("task.done.wf-1", _Payload())
+        assert not suite.activities
+
+    def test_ingest_liveness_folds_monitor_counters(self):
+        suite = EstimatorSuite()
+        suite.ingest_liveness(
+            [{"host": "h1", "beats": 40, "suspicions": 4, "suspected": False}]
+        )
+        assert suite.hosts["h1"].heartbeat_loss_rate() == pytest.approx(0.1)
+
+    def test_max_failure_probability_is_wilson_lower_bound(self):
+        suite = EstimatorSuite()
+        flaky = suite.activity("wf-1", "flaky")
+        for _ in range(30):
+            flaky.record("failed")
+        steady = suite.activity("wf-1", "steady")
+        for _ in range(30):
+            steady.record("done")
+        low, _high = wilson_interval(30, 30)
+        assert suite.max_failure_probability() == pytest.approx(low)
+
+    def test_export_publishes_gauges(self):
+        suite = EstimatorSuite(priors={"h1": (100.0, 0.0)})
+        suite.record_host_failure("h1", 10.0)
+        suite.record_host_failure("h1", 40.0)
+        activity = suite.activity("wf-1", "task")
+        activity.record("failed")
+        activity.record("done")
+        registry = MetricsRegistry()
+        suite.export(registry)
+        assert registry.value("obs_host_failures_total", host="h1") == 2.0
+        assert registry.value("obs_host_mttf_observed", host="h1") == 30.0
+        assert registry.value("obs_host_mttf_prior", host="h1") == 100.0
+        assert registry.value("obs_host_drift", host="h1") == 0.0
+        labels = {"workflow_id": "wf-1", "activity": "task"}
+        assert registry.value("obs_attempts_total", **labels) == 2.0
+        assert registry.value(
+            "obs_attempt_failure_probability", **labels
+        ) == pytest.approx(0.5)
+        low, high = wilson_interval(1, 2)
+        assert registry.value(
+            "obs_attempt_failure_wilson_low", **labels
+        ) == pytest.approx(low)
+        assert registry.value(
+            "obs_attempt_failure_wilson_high", **labels
+        ) == pytest.approx(high)
+
+
+class TestPriorsFromGrid:
+    def test_reads_host_specs(self):
+        grid = SimulatedGrid(config=GridConfig(heartbeats=False))
+        grid.add_host(UNRELIABLE("h1", mttf=120.0, mean_downtime=6.0))
+        priors = priors_from_grid(grid)
+        assert priors["h1"] == (120.0, 6.0)
+        suite = EstimatorSuite(priors=priors)
+        assert suite.host("h1").prior_mttf == 120.0
+        assert math.isinf(suite.host("h2").prior_mttf)  # uncatalogued

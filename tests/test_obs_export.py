@@ -53,6 +53,9 @@ attempt_seconds_bucket{activity="FU",le="10.0"} 2
 attempt_seconds_bucket{activity="FU",le="+Inf"} 3
 attempt_seconds_sum{activity="FU"} 105.5
 attempt_seconds_count{activity="FU"} 3
+attempt_seconds_p50{activity="FU"} 10.0
+attempt_seconds_p95{activity="FU"} +Inf
+attempt_seconds_p99{activity="FU"} +Inf
 """
 
 

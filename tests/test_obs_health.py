@@ -1,0 +1,205 @@
+"""Health-rule engine tests: the ok → pending → firing → ok state
+machine with sim-time hysteresis, alert edges on the bus, the
+edge-triggered drift latch, JSON-safe snapshots, and the default rule
+set the CLI installs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import EventBus
+from repro.obs import (
+    ALERT_FIRED,
+    ALERT_RESOLVED,
+    EstimatorSuite,
+    HealthEngine,
+    HealthRule,
+    TimeSeriesStore,
+    default_rules,
+)
+
+
+class _Dial:
+    """A settable scalar to point rules at."""
+
+    def __init__(self, value=0.0):
+        self.value = value
+
+    def read(self):
+        return self.value
+
+
+class TestHealthRuleValidation:
+    def test_rejects_unknown_kind_op_and_missing_value(self):
+        with pytest.raises(ValueError):
+            HealthRule("r", kind="mystery", value=lambda: 0.0)
+        with pytest.raises(ValueError):
+            HealthRule("r", op="~", value=lambda: 0.0)
+        with pytest.raises(ValueError):
+            HealthRule("r")  # threshold rule with no value source
+
+    def test_drift_rules_need_no_value(self):
+        rule = HealthRule("r", kind="drift")
+        assert rule.value is None
+
+    def test_duplicate_rule_name_rejected(self):
+        engine = HealthEngine()
+        engine.add_rule(HealthRule("r", value=lambda: 0.0))
+        with pytest.raises(ValueError):
+            engine.add_rule(HealthRule("r", value=lambda: 1.0))
+
+
+class TestThresholdRules:
+    def test_immediate_fire_and_resolve_publish_alert_edges(self):
+        bus = EventBus()
+        edges = []
+        bus.subscribe("obs.alert.*", lambda t, p: edges.append((t, p)))
+        dial = _Dial(0.0)
+        engine = HealthEngine(bus=bus)
+        engine.add_rule(
+            HealthRule("hot", value=dial.read, op=">", threshold=5.0)
+        )
+        assert engine.evaluate(0.0) == []
+        assert engine.status() == "ok"
+
+        dial.value = 9.0
+        (transition,) = engine.evaluate(1.0)
+        assert transition["transition"] == "fired"
+        assert transition["value"] == 9.0 and transition["at"] == 1.0
+        assert engine.status() == "degraded"
+        (firing,) = engine.firing()
+        assert firing["rule"] == "hot" and firing["fired_at"] == 1.0
+
+        dial.value = 0.0
+        (transition,) = engine.evaluate(2.0)
+        assert transition["transition"] == "resolved"
+        assert engine.status() == "ok" and engine.firing() == []
+
+        assert [t for t, _ in edges] == [ALERT_FIRED, ALERT_RESOLVED]
+        assert edges[0][1]["rule"] == "hot"
+        assert [e["event"] for e in engine.alerts()["history"]] == [
+            "fired",
+            "resolved",
+        ]
+
+    def test_for_seconds_requires_a_sustained_breach(self):
+        dial = _Dial(9.0)
+        engine = HealthEngine()
+        engine.add_rule(
+            HealthRule(
+                "hot", value=dial.read, op=">", threshold=5.0, for_seconds=10.0
+            )
+        )
+        assert engine.evaluate(0.0) == []  # breach noticed: pending
+        assert engine.snapshot()["rules"][0]["state"] == "pending"
+        assert engine.evaluate(5.0) == []  # still pending
+        (transition,) = engine.evaluate(10.0)
+        assert transition["transition"] == "fired"
+
+    def test_blip_shorter_than_for_seconds_never_fires(self):
+        dial = _Dial(9.0)
+        engine = HealthEngine()
+        engine.add_rule(
+            HealthRule(
+                "hot", value=dial.read, op=">", threshold=5.0, for_seconds=10.0
+            )
+        )
+        engine.evaluate(0.0)
+        dial.value = 0.0
+        assert engine.evaluate(5.0) == []  # cleared while pending: back to ok
+        dial.value = 9.0
+        engine.evaluate(6.0)  # pending restarts from scratch
+        assert engine.evaluate(15.0) == []
+        (transition,) = engine.evaluate(16.0)
+        assert transition["transition"] == "fired"
+
+    def test_resolve_after_suppresses_flapping(self):
+        dial = _Dial(9.0)
+        engine = HealthEngine()
+        engine.add_rule(
+            HealthRule(
+                "hot",
+                value=dial.read,
+                op=">",
+                threshold=5.0,
+                resolve_after=10.0,
+            )
+        )
+        engine.evaluate(0.0)
+        dial.value = 0.0
+        assert engine.evaluate(2.0) == []  # clear, but not for long enough
+        dial.value = 9.0
+        assert engine.evaluate(4.0) == []  # re-breach resets the clear clock
+        dial.value = 0.0
+        assert engine.evaluate(6.0) == []
+        (transition,) = engine.evaluate(16.0)
+        assert transition["transition"] == "resolved"
+
+    def test_none_value_is_not_a_breach(self):
+        engine = HealthEngine()
+        engine.add_rule(HealthRule("r", value=lambda: None, op=">", threshold=0))
+        assert engine.evaluate(0.0) == []
+        assert engine.snapshot()["rules"][0]["state"] == "ok"
+
+    def test_clock_supplies_the_default_evaluation_time(self):
+        engine = HealthEngine(clock=lambda: 42.0)
+        engine.add_rule(HealthRule("r", value=lambda: 1.0, op=">", threshold=0))
+        (transition,) = engine.evaluate()
+        assert transition["at"] == 42.0
+
+
+class TestDriftRules:
+    def test_bus_drift_event_latches_until_reset(self):
+        bus = EventBus()
+        engine = HealthEngine(bus=bus)
+        engine.add_rule(HealthRule("catalog-drift", kind="drift"))
+        assert engine.evaluate(0.0) == []
+        bus.publish(
+            "obs.drift.mttf", {"host": "h1", "observed_mttf": 3.0}
+        )
+        (transition,) = engine.evaluate(1.0)
+        assert transition["transition"] == "fired"
+        assert transition["drift"]["host"] == "h1"
+        assert transition["drift"]["topic"] == "obs.drift.mttf"
+        # Level-style evaluation keeps it firing: the latch holds.
+        assert engine.evaluate(50.0) == []
+        assert engine.status() == "degraded"
+        engine.reset_drift("catalog-drift")
+        (transition,) = engine.evaluate(51.0)
+        assert transition["transition"] == "resolved"
+
+    def test_detach_stops_latching(self):
+        bus = EventBus()
+        engine = HealthEngine(bus=bus)
+        engine.add_rule(HealthRule("catalog-drift", kind="drift"))
+        engine.detach()
+        bus.publish("obs.drift.mttf", {"host": "h1"})
+        assert engine.evaluate(0.0) == []
+
+
+class TestDefaultRules:
+    def test_installs_the_cli_rule_set(self):
+        engine = HealthEngine()
+        store = TimeSeriesStore()
+        default_rules(engine, store=store, estimators=EstimatorSuite())
+        names = [rule.name for rule in engine.rules]
+        assert names == [
+            "catalog-drift",
+            "attempt-failure-probability",
+            "heartbeat-loss",
+            "event-flow-stalled",
+        ]
+        # All quiet on a fresh plane.
+        assert engine.evaluate(0.0) == []
+        assert engine.snapshot()["status"] == "ok"
+
+    def test_attempt_failure_rule_reads_the_estimators(self):
+        engine = HealthEngine()
+        suite = EstimatorSuite()
+        default_rules(engine, estimators=suite, sustain=0.0)
+        activity = suite.activity("wf-1", "task")
+        for _ in range(50):
+            activity.record("failed")
+        (transition,) = engine.evaluate(1.0)
+        assert transition["rule"] == "attempt-failure-probability"
+        assert transition["value"] > 0.5

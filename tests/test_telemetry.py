@@ -268,6 +268,24 @@ class TestFlightRecorder:
         assert entry["topic"] == "t.weird"
         assert "payload" in entry
 
+    def test_spill_torn_mid_record_salvages_complete_prefix(self, tmp_path):
+        """A crash mid-write leaves the spill's final record torn;
+        loading must salvage every complete record before it."""
+        spill = tmp_path / "spill.jsonl"
+        bus = EventBus()
+        with FlightRecorder(bus, spill_path=str(spill)):
+            crashy_run(bus, tracer=Tracer())
+        intact = load_recording(str(spill))
+        assert len(intact) > 10
+
+        raw = spill.read_bytes()
+        # Cut inside the last record: past its start, short of its '\n'.
+        last_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        torn = raw[: last_start + (len(raw.rstrip(b"\n")) - last_start) // 2]
+        spill.write_bytes(torn)
+        salvaged = load_recording(str(spill))
+        assert salvaged == intact[:-1]
+
 
 class TestPostmortem:
     def run_and_build(self):
@@ -348,6 +366,130 @@ class TestTelemetryServer:
                 _get(f"http://127.0.0.1:{port}/workflows/wf-404")
             assert err.value.code == 404
         finally:
+            server.stop()
+
+    def test_head_matches_get_with_empty_body(self):
+        bus = EventBus()
+        tracker = WorkflowStatusTracker(bus)
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        server = TelemetryServer(registry=registry, tracker=tracker)
+        port = server.start()
+        try:
+            for path in ("/metrics", "/healthz", "/health", "/alerts",
+                         "/timeseries", "/workflows", "/"):
+                _status, get_body = _get(f"http://127.0.0.1:{port}{path}")
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}{path}", method="HEAD"
+                )
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    assert response.status == 200, path
+                    assert response.read() == b"", path
+                    assert int(response.headers["Content-Length"]) == len(
+                        get_body.encode()
+                    ), path
+        finally:
+            server.stop()
+
+    def test_write_methods_are_405_json_with_allow(self):
+        server = TelemetryServer(registry=MetricsRegistry())
+        port = server.start()
+        try:
+            for method in ("POST", "PUT", "DELETE"):
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/metrics",
+                    data=b"{}",
+                    method=method,
+                )
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(request, timeout=10)
+                assert err.value.code == 405
+                assert err.value.headers["Allow"] == "GET, HEAD"
+                assert err.value.headers["Content-Type"] == "application/json"
+                body = json.loads(err.value.read().decode())
+                assert body["allow"] == ["GET", "HEAD"]
+        finally:
+            server.stop()
+
+    def test_unknown_route_is_json_404(self):
+        server = TelemetryServer(registry=MetricsRegistry())
+        port = server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://127.0.0.1:{port}/nope")
+            assert err.value.code == 404
+            assert err.value.headers["Content-Type"] == "application/json"
+            assert "no route" in json.loads(err.value.read().decode())["error"]
+        finally:
+            server.stop()
+
+    def test_timeseries_routes(self):
+        from repro.obs import TimeSeriesStore
+
+        store = TimeSeriesStore(step=1.0)
+        store.observe("queue_depth", 0.0, 3.0, host="h1")
+        store.observe("queue_depth", 1.0, 5.0, host="h1")
+        server = TelemetryServer(store=store)
+        port = server.start()
+        try:
+            _status, text = _get(f"http://127.0.0.1:{port}/timeseries")
+            assert json.loads(text)["series"] == ["queue_depth"]
+            _status, text = _get(
+                f"http://127.0.0.1:{port}/timeseries/queue_depth"
+            )
+            payload = json.loads(text)
+            (ring,) = payload["series"]
+            assert ring["labels"] == {"host": "h1"}
+            assert [p["last"] for p in ring["points"]] == [3.0, 5.0]
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://127.0.0.1:{port}/timeseries/absent")
+            assert err.value.code == 404
+            body = json.loads(err.value.read().decode())
+            assert body["known"] == ["queue_depth"]
+        finally:
+            server.stop()
+
+    def test_workflow_churn_while_scraping(self):
+        """Scrape /workflows from another thread while instances are
+        being admitted — every response must be complete, valid JSON."""
+        import threading
+
+        bus = EventBus()
+        tracker = WorkflowStatusTracker(bus)
+        server = TelemetryServer(tracker=tracker)
+        port = server.start()
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    _status, text = _get(f"http://127.0.0.1:{port}/workflows")
+                    for entry in json.loads(text):
+                        entry["workflow_id"], entry["attempts"]["total"]
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    failures.append(repr(exc))
+                    return
+
+        scraper = threading.Thread(target=hammer, daemon=True)
+        try:
+            scraper.start()
+            for i in range(300):
+                wfid = f"wf-{i}"
+                bus.publish(
+                    "engine.workflow_admitted",
+                    {"workflow": "w", "workflow_id": wfid},
+                )
+                bus.publish(
+                    "engine.node_launched",
+                    {"workflow": "w", "workflow_id": wfid, "node": "task"},
+                )
+            stop.set()
+            scraper.join(timeout=10)
+            assert not failures, failures
+            assert len(tracker.snapshot()) == 300
+        finally:
+            stop.set()
             server.stop()
 
     def test_tracker_live_phases(self):
